@@ -1,0 +1,45 @@
+"""§2.2 crash bench: verified program -> kernel oops, three ways."""
+
+from conftest import run_once
+
+from repro.attacks import Outcome
+from repro.experiments import exp_crash_sys_bpf
+
+
+def test_bench_crash_experiment(benchmark):
+    result = run_once(benchmark, exp_crash_sys_bpf.run)
+    assert result.reproduces_paper
+    print()
+    print(exp_crash_sys_bpf.render(result))
+
+
+def test_bench_crash_attack_latency(benchmark):
+    """Load-to-oops latency of the CVE-2022-2785 attack."""
+    from repro.attacks import build_corpus, run_case
+    case = next(c for c in build_corpus()
+                if c.case_id == "ebpf-sys-bpf-crash")
+
+    outcome = benchmark(run_case, case)
+    assert outcome == Outcome.KERNEL_COMPROMISED
+
+
+def test_bench_safe_wrapper_latency(benchmark):
+    """Per-call cost of the sanitizing sys_bpf wrapper (the price of
+    wrapping, paid in trusted code)."""
+    from repro.core import SafeExtensionFramework
+    from repro.ebpf.loader import BpfSubsystem
+    from repro.kernel import Kernel
+
+    kernel = Kernel()
+    framework = SafeExtensionFramework(kernel)
+    bpf = BpfSubsystem(kernel)
+    hmap = bpf.create_map("hash", key_size=4, value_size=8,
+                          max_entries=64)
+    loaded = framework.install(
+        "fn prog(ctx: XdpCtx) -> i64 { "
+        "return sys_map_update(0, 1, 2); }",
+        "wrapped", maps=[hmap])
+
+    result = benchmark(framework.run_on_packet, loaded, b"x")
+    assert result.value == 0
+    assert kernel.healthy

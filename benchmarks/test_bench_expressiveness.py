@@ -1,0 +1,12 @@
+"""§2.1 expressiveness bench: the false-positive corpus."""
+
+from conftest import run_once
+
+from repro.experiments import exp_expressiveness
+
+
+def test_bench_expressiveness(benchmark):
+    result = run_once(benchmark, exp_expressiveness.run)
+    assert result.all_rejected_yet_correct
+    print()
+    print(exp_expressiveness.render(result))

@@ -1,0 +1,13 @@
+"""Figures 1 & 5 bench: trace both architecture pipelines."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_fig5_pipelines
+
+
+def test_bench_architecture_pipelines(benchmark):
+    result = run_once(benchmark, fig1_fig5_pipelines.run)
+    assert result.verifier_steps > 0
+    assert result.signature_checked
+    print()
+    print(fig1_fig5_pipelines.render(result))

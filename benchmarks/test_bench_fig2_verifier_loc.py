@@ -1,0 +1,19 @@
+"""Figure 2 bench: verifier LoC growth series + self-measurement."""
+
+from repro.experiments import fig2_verifier_loc
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark(fig2_verifier_loc.run)
+    assert result.monotone
+    assert 5.0 <= result.growth_factor <= 9.0
+    assert 11_000 <= result.final_loc <= 13_000
+    print()
+    print(fig2_verifier_loc.render(result))
+
+
+def test_bench_fig2_own_verifier_loc_counting(benchmark):
+    """Timing of the LoC counter over this repo's verifier package."""
+    from repro.analysis.loc import verifier_loc_breakdown
+    breakdown = benchmark(verifier_loc_breakdown)
+    assert breakdown["analyzer.py"] > 500

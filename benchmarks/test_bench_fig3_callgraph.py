@@ -1,0 +1,36 @@
+"""Figure 3 bench: per-helper call-graph measurement (249 BFS runs
+over the ~20k-function synthetic kernel)."""
+
+import pytest
+
+from repro.ebpf.helpers.registry import build_default_registry
+from repro.experiments import fig3_helper_complexity
+from repro.kernel.funcdb import build_default_funcdb
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_funcdb():
+    """Build the synthetic kernel once, outside the timed region."""
+    build_default_funcdb()
+    build_default_registry()
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark(fig3_helper_complexity.run)
+    assert result.complexity.total == 249
+    assert result.max_nodes == 4845
+    assert result.pid_tgid_nodes == 0
+    assert abs(result.frac_30_plus - 0.522) < 0.02
+    assert abs(result.frac_500_plus - 0.345) < 0.02
+    print()
+    print(fig3_helper_complexity.render(result))
+
+
+def test_bench_fig3_single_bfs_sys_bpf(benchmark):
+    """The heaviest single traversal: bpf_sys_bpf's 4845-node closure."""
+    from repro.analysis.callgraph import reachable_count
+    db = build_default_funcdb()
+    registry = build_default_registry()
+    fn_ids = registry.attach_to_funcdb(db)
+    count = benchmark(reachable_count, db, fn_ids["bpf_sys_bpf"])
+    assert count == 4845

@@ -1,0 +1,11 @@
+"""Figure 4 bench: helper-count growth series from the registry."""
+
+from repro.experiments import fig4_helper_growth
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark(fig4_helper_growth.run)
+    assert result.count_at_518 == 249
+    assert 35 <= result.mean_growth_per_two_years <= 75
+    print()
+    print(fig4_helper_growth.render(result))

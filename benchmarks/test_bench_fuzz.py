@@ -1,0 +1,18 @@
+"""Fuzzing-throughput bench: programs/second through the full
+load-verify-run pipeline (the [41] methodology as a harness)."""
+
+from conftest import run_once
+
+
+def test_bench_fuzz_campaign(benchmark):
+    from repro.analysis.fuzz import fuzz_campaign
+
+    report = run_once(benchmark,
+                      lambda: fuzz_campaign(iterations=500, seed=99))
+    assert report.clean
+    assert report.accepted > 0
+    print()
+    print(f"fuzz: {report.total} programs, {report.accepted} accepted "
+          f"({report.accepted / report.total:.0%}), "
+          f"{report.rejected} rejected, 0 verifier crashes, "
+          f"0 soundness violations")

@@ -1,0 +1,36 @@
+"""§3.2 bench: the retire/simplify/wrap survey plus the executed
+replacements."""
+
+from conftest import run_once
+
+from repro.experiments import exp_helper_retirement
+
+
+def test_bench_retirement_experiment(benchmark):
+    result = run_once(benchmark, exp_helper_retirement.run)
+    assert result.survey.count("retire") == 16
+    assert result.replacements_work
+    print()
+    print(exp_helper_retirement.render(result))
+
+
+def test_bench_strtol_vs_parse(benchmark):
+    """Replacement cost check: the in-language parse on a realistic
+    input (no kernel crossing at all)."""
+    from repro.core import SafeExtensionFramework
+    from repro.kernel import Kernel
+    kernel = Kernel()
+    framework = SafeExtensionFramework(kernel)
+    loaded = framework.install("""
+    fn prog(ctx: XdpCtx) -> i64 {
+        let s = "123456789";
+        match s.parse_i64() {
+            Some(v) => { return v; },
+            None => { return -1; },
+        }
+        return 0;
+    }
+    """, "parse")
+
+    result = benchmark(framework.run_on_packet, loaded, b"x")
+    assert result.value == 123456789

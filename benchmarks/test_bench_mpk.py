@@ -1,0 +1,24 @@
+"""§4 bench: protection-key containment plus per-write overhead."""
+
+from conftest import run_once
+
+from repro.experiments import exp_mpk_protection
+
+
+def test_bench_mpk_experiment(benchmark):
+    result = run_once(benchmark, exp_mpk_protection.run)
+    assert result.corrupted_without_keys
+    assert result.fault_with_keys and result.pool_intact_with_keys
+    print()
+    print(exp_mpk_protection.render(result))
+
+
+def test_bench_keyed_write(benchmark):
+    """Raw cost of one key-checked kernel write."""
+    from repro.core.runtime.mpk import MemoryProtectionKeys
+    from repro.kernel import Kernel
+    kernel = Kernel()
+    MemoryProtectionKeys(kernel.mem)
+    alloc = kernel.mem.kmalloc(64)
+
+    benchmark(kernel.mem.write_u64, alloc.base, 7)

@@ -1,0 +1,69 @@
+"""§2.2 termination bench: RCU stalls, linearity, the watchdog
+contrast, and the watchdog-granularity ablation."""
+
+from conftest import run_once
+
+from repro.experiments import exp_rcu_stall
+
+
+def test_bench_rcu_stall_experiment(benchmark):
+    result = run_once(benchmark, lambda: exp_rcu_stall.run(
+        sample_limit=32))
+    assert result.max_fit_error < 0.15
+    assert result.long_run_seconds >= 800
+    assert 20 <= result.first_stall_after_s <= 22
+    assert any(years >= 1e6 for __, years in result.projections)
+    assert result.safelang_terminated
+    assert result.safelang_stalls == 0
+    print()
+    print(exp_rcu_stall.render(result))
+
+
+def test_bench_single_stall_run(benchmark):
+    """Host cost of one depth-2 nested bpf_loop execution (weeks of
+    virtual time via fast-forward)."""
+    from repro.attacks import Outcome, build_corpus, run_case
+    case = next(c for c in build_corpus()
+                if c.case_id == "ebpf-rcu-stall")
+
+    def run():
+        return run_case(case)
+
+    outcome = run_once(benchmark, run)
+    assert outcome == Outcome.KERNEL_COMPROMISED
+
+
+def test_bench_ablation_watchdog_budget(benchmark):
+    """Ablation: watchdog budget controls how long a runaway SafeLang
+    extension occupies the CPU before safe termination — runtime is
+    proportional to the budget, never unbounded."""
+    from repro.core import SafeExtensionFramework
+    from repro.kernel import Kernel
+
+    source = """
+    fn prog(ctx: XdpCtx) -> i64 {
+        let mut i: u64 = 0;
+        while true { i = i + 1; if i == 0 { break; } }
+        return 0;
+    }
+    """
+
+    def measure(budget_ns):
+        kernel = Kernel()
+        framework = SafeExtensionFramework(
+            kernel, watchdog_budget_ns=budget_ns)
+        loaded = framework.install(source, "spin")
+        start = kernel.clock.now_ns
+        result = framework.run_on_packet(loaded, b"x")
+        assert result.terminated
+        return kernel.clock.now_ns - start
+
+    def sweep():
+        return [measure(budget) for budget in
+                (10_000, 100_000, 1_000_000)]
+
+    runtimes = run_once(benchmark, sweep)
+    # each 10x budget buys ~10x runtime before the kill
+    assert runtimes[0] < runtimes[1] < runtimes[2]
+    assert 5 <= runtimes[1] / runtimes[0] <= 20
+    assert 5 <= runtimes[2] / runtimes[1] <= 20

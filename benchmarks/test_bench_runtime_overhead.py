@@ -1,0 +1,115 @@
+"""Runtime-overhead bench (supporting §3's feasibility claim):
+per-invocation cost of both frameworks on the same workload, and the
+marginal cost of each runtime protection mechanism."""
+
+import pytest
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R10
+from repro.kernel import Kernel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel)
+    framework = SafeExtensionFramework(kernel)
+    amap = bpf.create_map("array", key_size=4, value_size=8,
+                          max_entries=4)
+    ebpf_prog = bpf.load_program(
+        (Asm()
+         .st_imm(4, R10, -4, 0)
+         .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+         .ld_map_fd(R1, amap.map_fd)
+         .call(ids.BPF_FUNC_map_lookup_elem)
+         .jmp_imm("jne", R0, 0, "hit")
+         .mov64_imm(R0, 2).exit_()
+         .label("hit")
+         .ldx(8, R1, R0, 0)
+         .alu64_imm("add", R1, 1)
+         .stx(8, R0, 0, R1)
+         .mov64_imm(R0, 2)
+         .exit_()
+         .program()), ProgType.XDP, "counter")
+    sl_prog = framework.install("""
+    fn prog(ctx: XdpCtx) -> i64 {
+        match map_lookup(0, 0) {
+            Some(v) => { map_update(0, 0, v + 1); },
+            None => { },
+        }
+        return 2;
+    }
+    """, "counter", maps=[amap])
+    return kernel, bpf, framework, ebpf_prog, sl_prog
+
+
+def test_bench_ebpf_per_packet(benchmark, setup):
+    kernel, bpf, __, ebpf_prog, __sl = setup
+    skb = kernel.create_skb(b"x" * 64)
+
+    verdict = benchmark(bpf.vm.run, ebpf_prog, skb.address)
+    assert verdict == 2
+
+
+def test_bench_safelang_per_packet(benchmark, setup):
+    kernel, __, framework, __e, sl_prog = setup
+    from repro.core.kcrate.resources import KernelResource
+    skb = kernel.create_skb(b"x" * 64)
+    ctx = KernelResource("xdp_ctx", "skb", lambda: None, payload=skb)
+
+    result = benchmark(framework.run, sl_prog, ctx)
+    assert result.value == 2
+
+
+def test_bench_watchdog_arm_disarm(benchmark):
+    """Marginal cost of arming the watchdog per invocation."""
+    from repro.core.runtime.watchdog import Watchdog
+    from repro.kernel.ktime import VirtualClock
+    clock = VirtualClock()
+    dog = Watchdog(clock, budget_ns=1_000_000)
+
+    def cycle():
+        dog.arm()
+        dog.disarm()
+
+    benchmark(cycle)
+
+
+def test_bench_cleanup_register_release(benchmark):
+    """Marginal cost of the on-the-fly resource recording."""
+    from repro.core.kcrate.resources import KernelResource
+    from repro.core.runtime.cleanup import CleanupList
+    cleanup = CleanupList(capacity=1024)
+
+    def cycle():
+        res = KernelResource("socket", "s", lambda: None)
+        cleanup.register(res)
+        res.release()
+
+    benchmark(cycle)
+
+
+def test_bench_verifier_vs_signature_load_path(benchmark, setup):
+    """Head-to-head: full eBPF load (verify + JIT) vs full SafeLang
+    kernel-side load (signature + decode + fixup) for comparable
+    programs."""
+    kernel, bpf, framework, __, __sl = setup
+    program = (Asm()
+               .st_imm(4, R10, -4, 0)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+               .mov64_imm(R0, 2)
+               .exit_()
+               .program())
+    ext = framework.compile("""
+    fn prog(ctx: XdpCtx) -> i64 { return 2; }
+    """, "loadbench")
+    counter = iter(range(10**9))
+
+    def both():
+        bpf.load_program(program, ProgType.XDP,
+                         f"lb{next(counter)}")
+        framework.load(ext)
+
+    benchmark(both)

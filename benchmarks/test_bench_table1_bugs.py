@@ -1,0 +1,24 @@
+"""Table 1 bench: the bug population plus the executable cross-check
+(every modeled bug fired on a buggy kernel, silent when patched)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_bug_stats
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1_bug_stats.run)
+    assert result.matches_paper
+    assert result.all_demos_correct
+    assert len(result.demo_outcomes) == 9
+    print()
+    print(table1_bug_stats.render(result))
+
+
+def test_bench_table1_single_bug_demo(benchmark):
+    """Cost of one end-to-end bug reproduction (CVE-2022-2785)."""
+    from repro.ebpf.bugs import BugConfig
+    from repro.experiments.bug_demos import fire_sys_bpf_null_union
+    bugs = BugConfig()
+    fired = benchmark(fire_sys_bpf_null_union, bugs)
+    assert fired

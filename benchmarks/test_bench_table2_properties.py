@@ -1,0 +1,65 @@
+"""Table 2 bench: the full attack matrix, plus the cleanup-strategy
+ablation DESIGN.md calls out (trusted destructor list vs nothing)."""
+
+from conftest import run_once
+
+from repro.attacks import Outcome
+from repro.experiments import table2_enforcement
+
+
+def test_bench_table2_matrix(benchmark):
+    result = run_once(benchmark, table2_enforcement.run)
+    assert result.all_expected
+    assert len(result.compromises("ebpf")) >= 5
+    assert result.compromises("safelang") == []
+    print()
+    print(table2_enforcement.render(result))
+
+
+def test_bench_ablation_cleanup_strategy(benchmark):
+    """Ablation: terminate an extension holding N resources and count
+    what the trusted cleanup list releases; without it (naive
+    termination) everything leaks.  This is why §3.1 records
+    destructors on the fly instead of unwinding."""
+    from repro.core.kcrate.resources import KernelResource
+    from repro.core.runtime.cleanup import CleanupList
+
+    def with_cleanup_list():
+        released = []
+        cleanup = CleanupList()
+        for index in range(64):
+            cleanup.register(KernelResource(
+                "socket", f"s{index}",
+                lambda i=index: released.append(i)))
+        ran = cleanup.terminate()
+        return ran, len(released)
+
+    ran, released = benchmark(with_cleanup_list)
+    assert ran == released == 64
+
+    # the naive alternative: resources acquired, termination without a
+    # record -> zero destructors run (all 64 leak)
+    naive_released = []
+    for index in range(64):
+        KernelResource("socket", f"s{index}",
+                       lambda i=index: naive_released.append(i))
+    # (termination happens here; nothing holds the destructors)
+    assert naive_released == []
+
+
+def test_bench_single_safelang_rejection(benchmark):
+    """Time of one toolchain rejection (the static half of Table 2)."""
+    from repro.core.toolchain import TrustedToolchain
+    from repro.errors import UnsafeCodeError
+    toolchain = TrustedToolchain()
+
+    def reject():
+        try:
+            toolchain.compile(
+                "fn prog(ctx: XdpCtx) -> i64 { unsafe { } "
+                "return 0; }", "bad")
+        except UnsafeCodeError:
+            return True
+        return False
+
+    assert benchmark(reject)

@@ -1,0 +1,75 @@
+"""§2.1 cost bench: verifier scaling (with the pruning ablation) vs
+signature-validation scaling."""
+
+import pytest
+
+from conftest import run_once
+
+from repro.ebpf import BpfSubsystem, ProgType
+from repro.ebpf.verifier.limits import VerifierLimits
+from repro.experiments import exp_verification_cost
+from repro.kernel import Kernel
+
+
+def test_bench_verification_cost_experiment(benchmark):
+    result = run_once(benchmark, exp_verification_cost.run)
+    assert result.size_cap_rejected_at is not None
+    assert any(rejected for __, __, rejected in
+               result.unpruned_series)
+    print()
+    print(exp_verification_cost.render(result))
+
+
+@pytest.mark.parametrize("size", [64, 512, 4000])
+def test_bench_verify_straight_line(benchmark, size):
+    """Verifier wall time vs program size (linear regime)."""
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel)
+    program = exp_verification_cost.straight_line_program(size)
+
+    counter = iter(range(10**9))
+
+    def verify():
+        return bpf.load_program(program, ProgType.KPROBE,
+                                f"flat{size}-{next(counter)}")
+
+    prog = benchmark(verify)
+    assert prog.verifier_stats.insns_processed >= size - 2
+
+
+@pytest.mark.parametrize("branches,prune", [(12, True), (12, False)])
+def test_bench_verify_diamonds(benchmark, branches, prune):
+    """The pruning ablation as timed rows."""
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel)
+    program = exp_verification_cost.diamond_program(branches)
+    limits = VerifierLimits(complexity_limit=500_000)
+    counter = iter(range(10**9))
+
+    def verify():
+        return bpf.load_program(
+            program, ProgType.KPROBE,
+            f"d{branches}-{prune}-{next(counter)}",
+            prune_states=prune, limits=limits)
+
+    prog = benchmark(verify)
+    if prune:
+        assert prog.verifier_stats.insns_processed < 2000
+
+
+def test_bench_signature_validation(benchmark):
+    """The proposed framework's whole load-time check."""
+    from repro.core import SafeExtensionFramework
+    kernel = Kernel()
+    framework = SafeExtensionFramework(kernel)
+    ext = framework.compile(
+        """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let mut acc: u64 = 0;
+            for i in 0..64 { acc = acc + i; }
+            return acc as i64;
+        }
+        """, "bench")
+
+    loaded = benchmark(framework.load, ext)
+    assert loaded.program.function("prog") is not None

@@ -1,0 +1,85 @@
+"""The paper's §2.2 attacks, end to end — and their fate under the
+proposed framework.
+
+1. **Safety**: a verified eBPF program crashes the kernel through
+   ``bpf_sys_bpf`` (CVE-2022-2785).  The SafeLang equivalent cannot
+   even express the bad input.
+2. **Termination**: nested ``bpf_loop`` runs for weeks of virtual
+   time under the RCU read lock (first stall warning at 21 s).  The
+   SafeLang infinite loop is dead within its 1 ms watchdog budget.
+
+Run: ``python examples/attack_demo.py``
+"""
+
+from repro.attacks import Outcome, build_corpus, run_case
+from repro.core import SafeExtensionFramework
+from repro.experiments import exp_crash_sys_bpf, exp_rcu_stall
+from repro.kernel import Kernel
+
+
+def crash_attack() -> None:
+    print("=" * 70)
+    print("Attack 1: kernel crash through a verified program (§2.2)")
+    print("=" * 70)
+    case = next(c for c in build_corpus()
+                if c.case_id == "ebpf-sys-bpf-crash")
+    kernel = Kernel()
+    outcome = run_case(case, kernel=kernel)
+    oops = kernel.log.last_oops()
+    print(f"eBPF: program VERIFIED, then: {outcome.value}")
+    print(f"  oops: {oops.category}: {oops.reason}")
+    print("  dmesg tail:")
+    for line in kernel.log.dmesg().splitlines()[-3:]:
+        print(f"    {line}")
+    print()
+    result = exp_crash_sys_bpf.run()
+    print(f"patched kernel: {result.patched_outcome.value}")
+    print(f"proposed framework (wrapped interface): rc="
+          f"{result.safelang_value}, kernel healthy="
+          f"{result.safelang_kernel_healthy}")
+    print()
+
+
+def stall_attack() -> None:
+    print("=" * 70)
+    print("Attack 2: RCU stall through nested bpf_loop (§2.2)")
+    print("=" * 70)
+    result = exp_rcu_stall.run(sample_limit=32)
+    print(f"runtime is linear in nr_loops: "
+          f"{result.ns_per_iteration:.0f} ns/iteration "
+          f"(max fit error {result.max_fit_error:.1%})")
+    print(f"depth-2 nesting held the RCU read lock for "
+          f"{result.long_run_seconds:,.0f} virtual seconds")
+    print(f"first RCU stall warning after "
+          f"{result.first_stall_after_s:.0f} s "
+          f"({result.long_run_stalls} warnings total)")
+    print("projected runtime by nesting depth:")
+    for depth, years in result.projections:
+        print(f"  depth {depth}: {years:.3g} years")
+    print()
+    print(f"proposed framework: watchdog terminated the same loop "
+          f"after {result.safelang_runtime_ns / 1e6:.2f} ms; "
+          f"RCU stalls: {result.safelang_stalls}; kernel healthy: "
+          f"{result.safelang_kernel_healthy}")
+    print()
+
+
+def scoreboard() -> None:
+    print("=" * 70)
+    print("Full attack-corpus scoreboard (buggy-era kernel)")
+    print("=" * 70)
+    for case in build_corpus():
+        outcome = run_case(case)
+        print(f"  {case.framework:8s} {case.case_id:24s} "
+              f"{outcome.value}")
+    print()
+
+
+def main() -> None:
+    crash_attack()
+    stall_attack()
+    scoreboard()
+
+
+if __name__ == "__main__":
+    main()

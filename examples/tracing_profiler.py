@@ -1,0 +1,176 @@
+"""A kprobe-style tracing profiler (the paper's observability
+motivation [21]).
+
+Hooks a simulated syscall entry/exit pair and records per-task latency
+histograms.  The SafeLang version leans on exactly the features §3
+promises: an RAII task handle (refcount held precisely while used),
+per-task storage through a never-NULL reference, string parsing with
+``parse_i64`` instead of ``bpf_strtol``, and a pool-backed ``Vec`` for
+the histogram (§4's dynamic allocation).
+
+Run: ``python examples/tracing_profiler.py``
+"""
+
+import struct
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R6, R10
+from repro.kernel import Kernel
+
+NSEC_PER_USEC = 1_000
+
+
+def ebpf_profiler(kernel: Kernel):
+    """Entry/exit pair: store t0 in a hash map keyed by pid, compute
+    the delta at exit and bump a log2 histogram bucket."""
+    bpf = BpfSubsystem(kernel)
+    starts = bpf.create_map("hash", key_size=4, value_size=8,
+                            max_entries=64)
+    hist = bpf.create_map("array", key_size=4, value_size=8,
+                          max_entries=16)
+
+    entry = (Asm()
+             .call(ids.BPF_FUNC_get_current_pid_tgid)
+             .alu64_imm("and", R0, 0xFFFF)
+             .stx(4, R10, -4, R0)          # key = pid
+             .call(ids.BPF_FUNC_ktime_get_ns)
+             .stx(8, R10, -16, R0)         # value = now
+             .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+             .mov64_reg(R3, R10).alu64_imm("add", R3, -16)
+             .ld_map_fd(R1, starts.map_fd)
+             .mov64_imm(R4, 0)
+             .call(ids.BPF_FUNC_map_update_elem)
+             .mov64_imm(R0, 0)
+             .exit_())
+
+    exit_prog = (Asm()
+                 .call(ids.BPF_FUNC_get_current_pid_tgid)
+                 .alu64_imm("and", R0, 0xFFFF)
+                 .stx(4, R10, -4, R0)
+                 .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                 .ld_map_fd(R1, starts.map_fd)
+                 .call(ids.BPF_FUNC_map_lookup_elem)
+                 .jmp_imm("jne", R0, 0, "have")
+                 .mov64_imm(R0, 0).exit_()
+                 .label("have")
+                 .ldx(8, R6, R0, 0)            # t0
+                 .call(ids.BPF_FUNC_ktime_get_ns)
+                 .alu64_reg("sub", R0, R6)     # delta
+                 .alu64_imm("rsh", R0, 10)     # ~usec
+                 # crude log2 bucket: clamp to [0, 15]
+                 .jmp_imm("jle", R0, 15, "bucket")
+                 .mov64_imm(R0, 15)
+                 .label("bucket")
+                 .stx(4, R10, -8, R0)
+                 .mov64_reg(R2, R10).alu64_imm("add", R2, -8)
+                 .ld_map_fd(R1, hist.map_fd)
+                 .call(ids.BPF_FUNC_map_lookup_elem)
+                 .jmp_imm("jne", R0, 0, "bump")
+                 .mov64_imm(R0, 0).exit_()
+                 .label("bump")
+                 .ldx(8, R1, R0, 0)
+                 .alu64_imm("add", R1, 1)
+                 .stx(8, R0, 0, R1)
+                 .mov64_imm(R0, 0)
+                 .exit_())
+
+    entry_loaded = bpf.load_program(entry.program(), ProgType.KPROBE,
+                                    "lat_entry")
+    exit_loaded = bpf.load_program(exit_prog.program(),
+                                   ProgType.KPROBE, "lat_exit")
+    return bpf, entry_loaded, exit_loaded, hist
+
+
+SAFELANG_PROFILER = """
+fn prog(ctx: XdpCtx) -> i64 {
+    // RAII: the task reference is held exactly while profiling
+    let task = current_task();
+    let mut t0: u64 = 0;
+    match task_storage_get(&task, 1) {
+        Some(v) => { t0 = v; },
+        None => { },
+    }
+    let now = ktime_ns();
+    if t0 == 0 {
+        task_storage_set(&task, 1, now);
+        return 0;
+    }
+    task_storage_set(&task, 1, 0);
+    let delta_us = (now - t0) >> 10;
+    let mut bucket = delta_us;
+    if bucket > 15 { bucket = 15; }
+    match map_lookup(0, bucket) {
+        Some(v) => { map_update(0, bucket, v + 1); },
+        None => { map_update(0, bucket, 1); },
+    }
+    return 0;
+}
+"""
+
+
+def safelang_profiler(kernel: Kernel):
+    """Same profiler on the proposed framework (one program handles
+    both entry and exit via task-local state)."""
+    framework = SafeExtensionFramework(kernel)
+    bpf = BpfSubsystem(kernel)
+    hist = bpf.create_map("array", key_size=4, value_size=8,
+                          max_entries=16)
+    storage = bpf.create_map("task_storage", value_size=8)
+    loaded = framework.install(SAFELANG_PROFILER, "sl_profiler",
+                               maps=[hist, storage])
+    return framework, loaded, hist
+
+
+def simulate_syscalls(kernel: Kernel, fire_entry, fire_exit,
+                      durations_ns) -> None:
+    """Drive entry/exit pairs with controlled latencies."""
+    for duration in durations_ns:
+        fire_entry()
+        kernel.clock.advance(duration)
+        fire_exit()
+
+
+def render_histogram(hist) -> str:
+    rows = []
+    for bucket in range(16):
+        count = struct.unpack("<Q", hist.read_value(bucket))[0]
+        if count:
+            rows.append(f"    ~{1 << bucket:5d} us: "
+                        f"{'#' * count} ({count})")
+    return "\n".join(rows) if rows else "    (empty)"
+
+
+def main() -> None:
+    durations = [3_000, 5_000, 900_000, 2_000_000, 7_000,
+                 12_000_000, 4_000]
+
+    kernel = Kernel()
+    bpf, entry, exit_prog, hist = ebpf_profiler(kernel)
+    simulate_syscalls(
+        kernel,
+        lambda: bpf.run_on_current_task(entry),
+        lambda: bpf.run_on_current_task(exit_prog),
+        durations)
+    print("[ebpf] latency histogram (2 programs, hash map rendezvous):")
+    print(render_histogram(hist))
+
+    kernel2 = Kernel()
+    framework, loaded, sl_hist = safelang_profiler(kernel2)
+    simulate_syscalls(
+        kernel2,
+        lambda: framework.run_on_packet(loaded, b""),
+        lambda: framework.run_on_packet(loaded, b""),
+        durations)
+    print("[safelang] latency histogram (1 program, task storage, "
+          "RAII task handle):")
+    print(render_histogram(sl_hist))
+
+    leaks = kernel2.refs.outstanding_for("safelang:sl_profiler")
+    print(f"outstanding task references after "
+          f"{2 * len(durations)} runs: {len(leaks)}")
+
+
+if __name__ == "__main__":
+    main()

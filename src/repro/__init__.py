@@ -1,0 +1,30 @@
+"""Reproduction of "Kernel extension verification is untenable"
+(Jia et al., HotOS '23).
+
+Three top-level entry points cover most uses:
+
+* :class:`repro.kernel.Kernel` — boot a simulated kernel;
+* :class:`repro.ebpf.BpfSubsystem` — the incumbent: load (verify) and
+  run eBPF bytecode against that kernel;
+* :class:`repro.core.SafeExtensionFramework` — the paper's proposal:
+  compile, sign, load and run SafeLang extensions on the same kernel.
+
+``python -m repro.experiments.run_all`` regenerates every table and
+figure in the paper; see DESIGN.md for the full map and EXPERIMENTS.md
+for paper-vs-measured results.
+"""
+
+from repro.kernel import Kernel
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.core import SafeExtensionFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "Asm",
+    "BpfSubsystem",
+    "ProgType",
+    "SafeExtensionFramework",
+    "__version__",
+]

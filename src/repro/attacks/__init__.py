@@ -1,0 +1,18 @@
+"""Executable attack corpus.
+
+Every safety property in the paper's Table 2 gets attack programs for
+both frameworks; running the corpus produces the enforcement matrix
+(who catches what, and how).  The §2.2 attacks (kernel crash through
+``bpf_sys_bpf``, RCU stall through nested ``bpf_loop``) live here as
+corpus entries too, so the experiments and the test suite share one
+source of truth for them.
+"""
+
+from repro.attacks.corpus import (
+    AttackCase,
+    Outcome,
+    build_corpus,
+    run_case,
+)
+
+__all__ = ["AttackCase", "Outcome", "build_corpus", "run_case"]

@@ -1,0 +1,35 @@
+"""The paper's proposal: safe kernel extensions without verification.
+
+This package is the primary contribution being reproduced (paper §3):
+
+* :mod:`repro.core.lang` — **SafeLang**, a Rust-like extension
+  language with ownership, borrows, RAII and no ``unsafe``; its
+  compiler "takes the role of the verifier",
+* :mod:`repro.core.kcrate` — the trusted *kernel crate*: the safe
+  interface between extensions and the (unsafe) kernel, where
+  refcounts become RAII handles, integer logic moves into safe code,
+  and remaining unsafe helpers sit behind sanitizing wrappers (§3.2),
+* :mod:`repro.core.signing` / :mod:`repro.core.toolchain` — the
+  trusted userspace toolchain that compiles, checks and *signs*
+  extensions,
+* :mod:`repro.core.loader` — the kernel side: signature validation
+  plus load-time fixup only; no in-kernel analysis,
+* :mod:`repro.core.runtime` — lightweight runtime mechanisms:
+  watchdog termination, stack protection, on-the-fly resource/
+  destructor recording with trusted cleanup, and a per-CPU memory
+  pool (§3.1),
+* :mod:`repro.core.vm` — the execution engine with the above engaged,
+* :mod:`repro.core.framework` — the one-stop facade used by examples
+  and experiments.
+"""
+
+from repro.core.framework import SafeExtensionFramework
+from repro.core.toolchain import TrustedToolchain, CompiledExtension
+from repro.core.loader import SafeLoader
+
+__all__ = [
+    "SafeExtensionFramework",
+    "TrustedToolchain",
+    "CompiledExtension",
+    "SafeLoader",
+]

@@ -1,0 +1,20 @@
+"""The trusted kernel crate.
+
+"We envision a trusted 'kernel crate' that provides the interface
+between the safe Rust of the extension program and the kernel" (§3.1).
+Everything here is *trusted* code: it is the only place where the
+proposed framework touches raw kernel memory, and it is where the
+§3.2 helper refactorings live —
+
+* RAII resource wrappers (:mod:`resources`) replace manual refcount
+  discipline,
+* checked integer logic and input sanitization move *out* of unsafe
+  kernel helpers into this safe boundary (:mod:`api`),
+* destructors registered here are the trusted cleanup the runtime
+  invokes on termination (never user-defined code).
+"""
+
+from repro.core.kcrate.api import ApiTable, build_api_table
+from repro.core.kcrate.resources import KernelResource
+
+__all__ = ["ApiTable", "build_api_table", "KernelResource"]

@@ -1,0 +1,85 @@
+"""RAII kernel resource handles.
+
+Each handle owns one kernel resource (a socket reference, a spin lock,
+a task reference, pool memory).  Its destructor is *trusted kcrate
+code*: registered with the runtime's cleanup list at acquisition, run
+at scope exit in normal execution, and run by the termination path
+when the watchdog fires or the extension panics (§3.1's "record
+allocated kernel resources and their destructors on-the-fly").
+
+Release is idempotent — the cleanup list and an explicit ``drop(x)``
+may both reach a handle, and double-release of the underlying kernel
+object must be impossible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class KernelResource:
+    """One owned kernel resource with a trusted destructor."""
+
+    def __init__(self, kind: str, name: str,
+                 destructor: Callable[[], None],
+                 payload: object = None) -> None:
+        #: resource class, e.g. "socket", "spin_guard", "task"
+        self.kind = kind
+        self.name = name
+        self._destructor = destructor
+        #: the underlying kernel object (Sock, SpinLock, ...)
+        self.payload = payload
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        """True once the destructor has run."""
+        return self._released
+
+    def release(self) -> None:
+        """Run the trusted destructor (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._destructor()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "live"
+        return f"<{self.kind} {self.name} ({state})>"
+
+
+class VecHandle:
+    """A ``Vec<u64>`` backed by the per-CPU memory pool (§4).
+
+    Capacity is whatever the pool grants; ``push`` reports failure
+    instead of allocating unboundedly — extensions run in contexts
+    where an allocator may not be available [17].
+    """
+
+    def __init__(self, pool: "object", capacity: int = 64) -> None:
+        self._pool = pool
+        self._block: Optional[object] = pool.alloc(capacity * 8)
+        self.capacity = capacity if self._block is not None else 0
+        self.length = 0
+        self._items = [0] * self.capacity
+
+    def push(self, value: int) -> bool:
+        """Append; False when capacity is exhausted."""
+        if self.length >= self.capacity:
+            return False
+        self._items[self.length] = value & ((1 << 64) - 1)
+        self.length += 1
+        return True
+
+    def get(self, index: int) -> Optional[int]:
+        """Bounds-checked read."""
+        if 0 <= index < self.length:
+            return self._items[index]
+        return None
+
+    def set(self, index: int, value: int) -> bool:
+        """Bounds-checked write."""
+        if 0 <= index < self.length:
+            self._items[index] = value & ((1 << 64) - 1)
+            return True
+        return False

@@ -1,0 +1,23 @@
+"""SafeLang: the Rust-like extension language.
+
+The pipeline (all in trusted userspace, per Figure 5):
+
+    source --lex--> tokens --parse--> AST
+           --unsafeck--> (reject ``unsafe``)
+           --typecheck--> typed AST
+           --borrowck--> ownership-checked AST
+
+The language deliberately mirrors the Rust features the paper leans
+on: move semantics and borrow rules for kernel resources (RAII release
+on scope exit), ``Option`` instead of nullable pointers, and
+overflow-checked integer arithmetic that panics instead of wrapping.
+"""
+
+from repro.core.lang.lexer import tokenize
+from repro.core.lang.parser import parse_program
+from repro.core.lang.typecheck import TypeChecker
+from repro.core.lang.borrowck import BorrowChecker
+from repro.core.lang.unsafeck import reject_unsafe
+
+__all__ = ["tokenize", "parse_program", "TypeChecker", "BorrowChecker",
+           "reject_unsafe"]

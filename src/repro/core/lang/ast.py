@@ -1,0 +1,304 @@
+"""SafeLang abstract syntax tree.
+
+Every node carries its source line for diagnostics.  The type checker
+annotates expression nodes in-place (``node.ty``); the borrow checker
+and the runtime interpreter both walk this same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.lang.types import Ty
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    line: int = 0
+
+
+# -- expressions ---------------------------------------------------------------
+
+class Expr(Node):
+    """Base class for expressions; ``ty`` is filled by the checker."""
+
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class BoolLit(Expr):
+    """Boolean literal."""
+
+    value: bool
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class StrLit(Expr):
+    """String literal."""
+
+    value: str
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class NoneLit(Expr):
+    """``None`` literal (needs an Option context)."""
+
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class SomeExpr(Expr):
+    """``Some(inner)``."""
+
+    inner: Expr = None
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Name(Expr):
+    """A variable reference."""
+
+    ident: str = ""
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: ``-``, ``!``, or deref ``*``."""
+
+    op: str = ""          # "-" or "!"
+    operand: Expr = None
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator application."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Cast(Expr):
+    """``expr as u32`` — explicit truncating conversion (never UB)."""
+
+    operand: Expr = None
+    target: Ty = None
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Borrow(Expr):
+    """``&x`` / ``&mut x``."""
+
+    operand: Expr = None
+    mut: bool = False
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Call(Expr):
+    """Free function call: user function or kcrate API."""
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class MethodCall(Expr):
+    """``receiver.method(args)`` — resolved against the receiver type."""
+
+    receiver: Expr = None
+    method: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+@dataclass
+class Panic(Expr):
+    """``panic!(msg)`` — contained by the runtime, never a crash."""
+
+    message: str = ""
+    line: int = 0
+    ty: Optional[Ty] = None
+
+
+# -- statements ----------------------------------------------------------------
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Let(Stmt):
+    """``let [mut] name [: ty] = value;``."""
+
+    name: str = ""
+    mut: bool = False
+    declared_ty: Optional[Ty] = None
+    value: Expr = None
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = value;`` or ``*name = value;``."""
+
+    target: str = ""
+    value: Expr = None
+    line: int = 0
+    #: assignment through a &mut reference (``*r = v``)
+    through_ref: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
+
+    expr: Expr = None
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    """``if cond { } [else { }]``."""
+
+    cond: Expr = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: Optional[List[Stmt]] = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    """``while cond { }``."""
+
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    """``for i in lo..hi { ... }``."""
+
+    var: str = ""
+    lo: Expr = None
+    hi: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Match(Stmt):
+    """``match expr { Some(x) => {...}, None => {...} }``."""
+
+    scrutinee: Expr = None
+    some_var: str = ""
+    some_body: List[Stmt] = field(default_factory=list)
+    none_body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    """``return [expr];``."""
+
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    """``break;``."""
+
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;``."""
+
+    line: int = 0
+
+
+@dataclass
+class DropStmt(Stmt):
+    """``drop(x)`` — explicit early destruction."""
+
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class UnsafeBlock(Stmt):
+    """Parsed only so :mod:`unsafeck` can reject it with a good
+    message (extensions must be 100% safe code, §3.1)."""
+
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+# -- items -----------------------------------------------------------------------
+
+@dataclass
+class Param:
+    """One function parameter."""
+
+    name: str
+    ty: Ty
+    line: int = 0
+
+
+@dataclass
+class FnDef(Node):
+    """One function definition."""
+
+    name: str
+    params: List[Param]
+    ret_ty: Ty
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    """A SafeLang compilation unit: a set of functions, one of which
+    is the entry point (named ``prog``)."""
+
+    functions: List[FnDef] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FnDef]:
+        """Find a function by name."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

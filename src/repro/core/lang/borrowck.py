@@ -1,0 +1,323 @@
+"""SafeLang ownership and borrow checker.
+
+Enforces the move/borrow discipline the paper's proposal rests on
+(§3.1-3.2): kernel resource handles are move-only values, so exactly
+one owner exists at any time, the trusted destructor runs exactly
+once, and a handle cannot be used after it was consumed.  Borrows
+follow the one-``&mut``-xor-many-``&`` rule, lexically scoped to the
+binding that holds them.
+
+The checker is deliberately lexical (no non-lexical lifetimes): it is
+*stricter* than rustc, never more permissive, which is the sound
+direction for a safety argument.
+"""
+
+from __future__ import annotations
+
+import copy as copymod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.core.lang import ast
+from repro.core.lang import types as T
+from repro.errors import BorrowCheckError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kcrate.api import ApiTable
+
+
+@dataclass
+class BVar:
+    """Ownership state of one binding."""
+
+    ty: T.Ty
+    state: str = "live"                      # live | moved
+    shared_by: Set[str] = field(default_factory=set)
+    mut_by: Optional[str] = None
+    #: variable this binding borrows, when it holds a reference
+    borrow_of: Optional[str] = None
+    borrow_mut: bool = False
+
+    @property
+    def borrowed(self) -> bool:
+        """True while any borrow of this binding is live."""
+        return bool(self.shared_by) or self.mut_by is not None
+
+
+class BorrowChecker:
+    """Check one (already type-annotated) program."""
+
+    def __init__(self, program: ast.Program, api: "ApiTable") -> None:
+        self.program = program
+        self.api = api
+        self._scopes: List[Dict[str, BVar]] = []
+
+    def check(self) -> None:
+        """Raises :class:`BorrowCheckError` on any violation."""
+        for fn in self.program.functions:
+            self._scopes = [{}]
+            for param in fn.params:
+                self._scopes[-1][param.name] = BVar(ty=param.ty)
+            self._check_block(fn.body)
+            self._scopes.pop()
+
+    def _fail(self, line: int, message: str) -> None:
+        raise BorrowCheckError(f"line {line}: {message}")
+
+    # -- scope management -----------------------------------------------------
+
+    def _push(self) -> None:
+        self._scopes.append({})
+
+    def _pop(self) -> None:
+        # bindings dying at scope exit release the borrows they hold
+        dying = self._scopes.pop()
+        for name, var in dying.items():
+            if var.borrow_of is not None:
+                self._release_borrow(name, var)
+
+    def _release_borrow(self, holder: str, var: BVar) -> None:
+        target = self._find(var.borrow_of)
+        if target is None:
+            return
+        target.shared_by.discard(holder)
+        if target.mut_by == holder:
+            target.mut_by = None
+
+    def _find(self, name: str) -> Optional[BVar]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- statements -------------------------------------------------------------
+
+    def _check_block(self, body: List[ast.Stmt]) -> None:
+        self._push()
+        for stmt in body:
+            self._check_stmt(stmt)
+        self._pop()
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Let):
+            self._check_expr(stmt.value, consume=True)
+            var = BVar(ty=stmt.value.ty if stmt.declared_ty is None
+                       else stmt.declared_ty)
+            if isinstance(stmt.value, ast.Borrow):
+                target_name = stmt.value.operand.ident
+                var.borrow_of = target_name
+                var.borrow_mut = stmt.value.mut
+                self._register_borrow(stmt.line, stmt.name, target_name,
+                                      stmt.value.mut)
+            self._scopes[-1][stmt.name] = var
+            return
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.value, consume=True)
+            var = self._find(stmt.target)
+            if var is None:
+                self._fail(stmt.line, f"unknown variable {stmt.target!r}")
+            if stmt.through_ref:
+                if var.state == "moved":
+                    self._fail(stmt.line, f"use of moved reference "
+                               f"{stmt.target!r}")
+                return
+            if var.borrowed:
+                self._fail(stmt.line, f"cannot assign to "
+                           f"{stmt.target!r} while it is borrowed")
+            # overwriting releases any borrow the old value held
+            if var.borrow_of is not None:
+                self._release_borrow(stmt.target, var)
+                var.borrow_of = None
+            if isinstance(stmt.value, ast.Borrow):
+                target_name = stmt.value.operand.ident
+                var.borrow_of = target_name
+                var.borrow_mut = stmt.value.mut
+                self._register_borrow(stmt.line, stmt.target,
+                                      target_name, stmt.value.mut)
+            var.state = "live"
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, consume=True)
+            return
+        if isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, consume=True)
+            before = self._snapshot()
+            self._check_block(stmt.then_body)
+            after_then = self._snapshot()
+            self._restore(before)
+            if stmt.else_body is not None:
+                self._check_block(stmt.else_body)
+            self._merge_moves(after_then)
+            return
+        if isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, consume=True)
+            # two passes: a move of an outer variable inside the body
+            # fails on the second pass, modeling "moved in a previous
+            # loop iteration"
+            self._check_block(stmt.body)
+            self._check_block(stmt.body)
+            self._check_expr(stmt.cond, consume=True)
+            return
+        if isinstance(stmt, ast.For):
+            self._check_expr(stmt.lo, consume=True)
+            self._check_expr(stmt.hi, consume=True)
+            for __ in range(2):
+                self._push()
+                self._scopes[-1][stmt.var] = BVar(ty=stmt.lo.ty)
+                for inner in stmt.body:
+                    self._check_stmt(inner)
+                self._pop()
+            return
+        if isinstance(stmt, ast.Match):
+            self._check_expr(stmt.scrutinee, consume=True)
+            before = self._snapshot()
+            self._push()
+            scrut_ty = stmt.scrutinee.ty
+            inner_ty = scrut_ty.inner if isinstance(scrut_ty,
+                                                    T.OptionTy) else scrut_ty
+            self._scopes[-1][stmt.some_var] = BVar(ty=inner_ty)
+            for inner in stmt.some_body:
+                self._check_stmt(inner)
+            self._pop()
+            after_some = self._snapshot()
+            self._restore(before)
+            self._check_block(stmt.none_body)
+            self._merge_moves(after_some)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, consume=True)
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return
+        if isinstance(stmt, ast.DropStmt):
+            var = self._find(stmt.name)
+            if var is None:
+                self._fail(stmt.line, f"drop of unknown {stmt.name!r}")
+            if var.state == "moved":
+                self._fail(stmt.line, f"drop of moved value "
+                           f"{stmt.name!r}")
+            if var.borrowed:
+                self._fail(stmt.line, f"cannot drop {stmt.name!r} "
+                           "while it is borrowed")
+            if var.borrow_of is not None:
+                self._release_borrow(stmt.name, var)
+                var.borrow_of = None
+            var.state = "moved"
+            return
+        if isinstance(stmt, ast.UnsafeBlock):
+            return  # rejected earlier by unsafeck
+
+    # -- merge machinery for branching control flow ---------------------------------
+
+    def _snapshot(self) -> List[Dict[str, BVar]]:
+        return copymod.deepcopy(self._scopes)
+
+    def _restore(self, snap: List[Dict[str, BVar]]) -> None:
+        self._scopes = copymod.deepcopy(snap)
+
+    def _merge_moves(self, other: List[Dict[str, BVar]]) -> None:
+        """A value moved in either branch is moved afterwards."""
+        for scope, other_scope in zip(self._scopes, other):
+            for name, var in scope.items():
+                theirs = other_scope.get(name)
+                if theirs is not None and theirs.state == "moved":
+                    var.state = "moved"
+
+    # -- borrows --------------------------------------------------------------------
+
+    def _register_borrow(self, line: int, holder: str, target: str,
+                         mut: bool) -> None:
+        var = self._find(target)
+        if var is None:
+            self._fail(line, f"borrow of unknown variable {target!r}")
+        if var.state == "moved":
+            self._fail(line, f"borrow of moved value {target!r}")
+        if mut:
+            if var.borrowed:
+                self._fail(line, f"cannot borrow {target!r} as mutable:"
+                           " already borrowed")
+            var.mut_by = holder
+        else:
+            if var.mut_by is not None:
+                self._fail(line, f"cannot borrow {target!r} as shared: "
+                           "already mutably borrowed")
+            var.shared_by.add(holder)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _check_expr(self, node: ast.Expr, consume: bool) -> None:
+        """Walk an expression; ``consume`` means the value is used
+        (moved if move-typed)."""
+        if isinstance(node, (ast.IntLit, ast.BoolLit, ast.StrLit,
+                             ast.NoneLit, ast.Panic)):
+            return
+        if isinstance(node, ast.SomeExpr):
+            self._check_expr(node.inner, consume=True)
+            return
+        if isinstance(node, ast.Name):
+            self._use_name(node, consume)
+            return
+        if isinstance(node, ast.Unary):
+            if node.op == "*" and isinstance(node.operand, ast.Name):
+                # dereference reads through the reference; it does not
+                # move the reference itself (Rust: a reborrow)
+                self._use_name(node.operand, consume=False)
+                return
+            self._check_expr(node.operand, consume=True)
+            return
+        if isinstance(node, ast.Binary):
+            self._check_expr(node.left, consume=True)
+            self._check_expr(node.right, consume=True)
+            return
+        if isinstance(node, ast.Cast):
+            self._check_expr(node.operand, consume=True)
+            return
+        if isinstance(node, ast.Borrow):
+            # a temporary borrow: legal iff a borrow could be taken now
+            target = node.operand.ident
+            var = self._find(target)
+            if var is None:
+                self._fail(node.line, f"borrow of unknown {target!r}")
+            if var.state == "moved":
+                self._fail(node.line, f"borrow of moved value "
+                           f"{target!r}")
+            if node.mut and var.borrowed:
+                self._fail(node.line, f"cannot borrow {target!r} as "
+                           "mutable: already borrowed")
+            if not node.mut and var.mut_by is not None:
+                self._fail(node.line, f"cannot borrow {target!r}: "
+                           "already mutably borrowed")
+            return
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                self._check_expr(arg, consume=True)
+            return
+        if isinstance(node, ast.MethodCall):
+            # receiver is borrowed for the duration of the call
+            if isinstance(node.receiver, ast.Name):
+                self._use_name(node.receiver, consume=False)
+            else:
+                self._check_expr(node.receiver, consume=True)
+            for arg in node.args:
+                self._check_expr(arg, consume=True)
+            return
+
+    def _use_name(self, node: ast.Name, consume: bool) -> None:
+        var = self._find(node.ident)
+        if var is None:
+            self._fail(node.line, f"unknown variable {node.ident!r}")
+        if var.state == "moved":
+            self._fail(node.line, f"use of moved value {node.ident!r}")
+        ty = var.ty
+        if consume and not ty.is_copy():
+            if var.borrowed:
+                self._fail(node.line, f"cannot move {node.ident!r} "
+                           "while it is borrowed")
+            if var.borrow_of is not None:
+                self._release_borrow(node.ident, var)
+                var.borrow_of = None
+            var.state = "moved"
+        elif var.mut_by is not None and consume:
+            self._fail(node.line, f"cannot read {node.ident!r} while "
+                       "it is mutably borrowed")

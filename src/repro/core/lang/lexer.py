@@ -1,0 +1,138 @@
+"""SafeLang lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "fn", "let", "mut", "if", "else", "while", "for", "in", "return",
+    "true", "false", "match", "break", "continue", "unsafe", "drop",
+    "Some", "None", "as",
+}
+
+#: multi-character operators, longest first
+_MULTI_OPS = [
+    "..", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+]
+
+_SINGLE_OPS = set("+-*/%&|^<>=!(){}[],;:.#")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str   # "ident", "int", "str", "kw", "op", "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize SafeLang source.  Raises :class:`LexError`."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> None:
+        raise LexError(message, line=line, col=col)
+
+    while index < length:
+        ch = source[index]
+
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            col += 1
+            continue
+
+        # line comments
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_line, start_col = line, col
+
+        # numbers (decimal and hex)
+        if ch.isdigit():
+            end = index
+            if source.startswith("0x", index) \
+                    or source.startswith("0X", index):
+                end = index + 2
+                while end < length and (source[end] in "0123456789abcdefABCDEF_"):
+                    end += 1
+            else:
+                while end < length and (source[end].isdigit()
+                                        or source[end] == "_"):
+                    end += 1
+            text = source[index:end]
+            tokens.append(Token("int", text, start_line, start_col))
+            col += end - index
+            index = end
+            continue
+
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (source[end].isalnum()
+                                    or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += end - index
+            index = end
+            continue
+
+        # string literals
+        if ch == '"':
+            end = index + 1
+            chunks: List[str] = []
+            while end < length and source[end] != '"':
+                if source[end] == "\n":
+                    error("unterminated string literal")
+                if source[end] == "\\" and end + 1 < length:
+                    escape = source[end + 1]
+                    chunks.append({"n": "\n", "t": "\t", '"': '"',
+                                   "\\": "\\"}.get(escape, escape))
+                    end += 2
+                    continue
+                chunks.append(source[end])
+                end += 1
+            if end >= length:
+                error("unterminated string literal")
+            tokens.append(Token("str", "".join(chunks),
+                                start_line, start_col))
+            col += end - index + 1
+            index = end + 1
+            continue
+
+        # operators
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is None and ch in _SINGLE_OPS:
+            matched = ch
+        if matched is None:
+            error(f"unexpected character {ch!r}")
+        tokens.append(Token("op", matched, start_line, start_col))
+        col += len(matched)
+        index += len(matched)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

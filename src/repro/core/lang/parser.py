@@ -1,0 +1,389 @@
+"""SafeLang recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.lang import ast
+from repro.core.lang import types as T
+from repro.core.lang.lexer import Token, tokenize
+from repro.errors import ParseError
+
+
+class Parser:
+    """One parse over a token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _error(self, message: str) -> None:
+        tok = self._cur
+        raise ParseError(f"{message} (found {tok.kind} {tok.text!r})",
+                         line=tok.line, col=tok.col)
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None
+                ) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            expected = text if text is not None else kind
+            self._error(f"expected {expected!r}")
+        return self._advance()
+
+    # -- items ---------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the whole token stream into a Program."""
+        functions: List[ast.FnDef] = []
+        while not self._check("eof"):
+            functions.append(self._parse_fn())
+        return ast.Program(functions=functions)
+
+    def _parse_fn(self) -> ast.FnDef:
+        start = self._expect("kw", "fn")
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        while not self._check("op", ")"):
+            if params:
+                self._expect("op", ",")
+            pname = self._expect("ident").text
+            self._expect("op", ":")
+            pty = self._parse_type()
+            params.append(ast.Param(pname, pty, line=self._cur.line))
+        self._expect("op", ")")
+        if self._accept("op", "->"):
+            ret_ty = self._parse_type()
+        else:
+            ret_ty = T.UNIT
+        body = self._parse_block()
+        return ast.FnDef(name=name, params=params, ret_ty=ret_ty,
+                         body=body, line=start.line)
+
+    def _parse_type(self) -> T.Ty:
+        if self._accept("op", "&"):
+            mut = self._accept("kw", "mut") is not None
+            return T.RefTy(self._parse_type(), mut=mut)
+        name = self._expect("ident").text
+        if name in ("Option", "Vec"):
+            self._expect("op", "<")
+            inner = self._parse_type()
+            self._expect("op", ">")
+            return T.OptionTy(inner) if name == "Option" \
+                else T.VecTy(inner)
+        primitive = T.prim(name)
+        if primitive is not None:
+            return primitive
+        # anything else is a (kcrate-defined) resource/handle type
+        return T.ResourceTy(name)
+
+    # -- statements --------------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            body.append(self._parse_stmt())
+        self._expect("op", "}")
+        return body
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._cur
+
+        if self._accept("kw", "let"):
+            mut = self._accept("kw", "mut") is not None
+            name = self._expect("ident").text
+            declared: Optional[T.Ty] = None
+            if self._accept("op", ":"):
+                declared = self._parse_type()
+            self._expect("op", "=")
+            value = self._parse_expr()
+            self._expect("op", ";")
+            return ast.Let(name=name, mut=mut, declared_ty=declared,
+                           value=value, line=tok.line)
+
+        if self._accept("kw", "if"):
+            return self._parse_if(tok.line)
+
+        if self._accept("kw", "while"):
+            cond = self._parse_expr()
+            body = self._parse_block()
+            return ast.While(cond=cond, body=body, line=tok.line)
+
+        if self._accept("kw", "for"):
+            var = self._expect("ident").text
+            self._expect("kw", "in")
+            lo = self._parse_expr()
+            self._expect("op", "..")
+            hi = self._parse_expr()
+            body = self._parse_block()
+            return ast.For(var=var, lo=lo, hi=hi, body=body,
+                           line=tok.line)
+
+        if self._accept("kw", "match"):
+            return self._parse_match(tok.line)
+
+        if self._accept("kw", "return"):
+            value: Optional[ast.Expr] = None
+            if not self._check("op", ";"):
+                value = self._parse_expr()
+            self._expect("op", ";")
+            return ast.Return(value=value, line=tok.line)
+
+        if self._accept("kw", "break"):
+            self._expect("op", ";")
+            return ast.Break(line=tok.line)
+
+        if self._accept("kw", "continue"):
+            self._expect("op", ";")
+            return ast.Continue(line=tok.line)
+
+        if self._accept("kw", "drop"):
+            self._expect("op", "(")
+            name = self._expect("ident").text
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return ast.DropStmt(name=name, line=tok.line)
+
+        if self._accept("kw", "unsafe"):
+            body = self._parse_block()
+            return ast.UnsafeBlock(body=body, line=tok.line)
+
+        # *target = value;  (store through &mut)
+        if self._check("op", "*") and self._peek().kind == "ident" \
+                and self._peek(2).kind == "op" \
+                and self._peek(2).text == "=":
+            self._advance()
+            target = self._expect("ident").text
+            self._expect("op", "=")
+            value = self._parse_expr()
+            self._expect("op", ";")
+            return ast.Assign(target=target, value=value,
+                              line=tok.line, through_ref=True)
+
+        # target = value;
+        if self._check("ident") and self._peek().kind == "op" \
+                and self._peek().text == "=" \
+                and self._peek(2).text != "=":
+            target = self._advance().text
+            self._expect("op", "=")
+            value = self._parse_expr()
+            self._expect("op", ";")
+            return ast.Assign(target=target, value=value, line=tok.line)
+
+        expr = self._parse_expr()
+        self._expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    def _parse_if(self, line: int) -> ast.If:
+        cond = self._parse_expr()
+        then_body = self._parse_block()
+        else_body: Optional[List[ast.Stmt]] = None
+        if self._accept("kw", "else"):
+            if self._check("kw", "if"):
+                self._advance()
+                else_body = [self._parse_if(self._cur.line)]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond=cond, then_body=then_body,
+                      else_body=else_body, line=line)
+
+    def _parse_match(self, line: int) -> ast.Match:
+        scrutinee = self._parse_expr()
+        self._expect("op", "{")
+        some_var, some_body, none_body = "", None, None
+        for __ in range(2):
+            if self._accept("kw", "Some"):
+                self._expect("op", "(")
+                some_var = self._expect("ident").text
+                self._expect("op", ")")
+                self._expect("op", "=>")
+                some_body = self._parse_block()
+            elif self._accept("kw", "None"):
+                self._expect("op", "=>")
+                none_body = self._parse_block()
+            else:
+                self._error("expected Some(...) or None match arm")
+            self._accept("op", ",")
+        self._expect("op", "}")
+        if some_body is None or none_body is None:
+            self._error("match must have exactly one Some and one "
+                        "None arm")
+        return ast.Match(scrutinee=scrutinee, some_var=some_var,
+                         some_body=some_body, none_body=none_body,
+                         line=line)
+
+    # -- expressions (precedence climbing) ---------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _binary_level(self, sub, ops) -> ast.Expr:
+        left = sub()
+        while self._cur.kind == "op" and self._cur.text in ops:
+            op = self._advance().text
+            right = sub()
+            left = ast.Binary(op=op, left=left, right=right,
+                              line=self._cur.line)
+        return left
+
+    def _parse_or(self) -> ast.Expr:
+        return self._binary_level(self._parse_and, {"||"})
+
+    def _parse_and(self) -> ast.Expr:
+        return self._binary_level(self._parse_cmp, {"&&"})
+
+    def _parse_cmp(self) -> ast.Expr:
+        left = self._parse_bitor()
+        if self._cur.kind == "op" and self._cur.text in \
+                ("==", "!=", "<", "<=", ">", ">="):
+            op = self._advance().text
+            right = self._parse_bitor()
+            return ast.Binary(op=op, left=left, right=right,
+                              line=self._cur.line)
+        return left
+
+    def _parse_bitor(self) -> ast.Expr:
+        return self._binary_level(self._parse_bitxor, {"|"})
+
+    def _parse_bitxor(self) -> ast.Expr:
+        return self._binary_level(self._parse_bitand, {"^"})
+
+    def _parse_bitand(self) -> ast.Expr:
+        return self._binary_level(self._parse_shift, {"&"})
+
+    def _parse_shift(self) -> ast.Expr:
+        return self._binary_level(self._parse_add, {"<<", ">>"})
+
+    def _parse_add(self) -> ast.Expr:
+        return self._binary_level(self._parse_mul, {"+", "-"})
+
+    def _parse_mul(self) -> ast.Expr:
+        return self._binary_level(self._parse_cast, {"*", "/", "%"})
+
+    def _parse_cast(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self._accept("kw", "as"):
+            target = self._parse_type()
+            expr = ast.Cast(operand=expr, target=target,
+                            line=self._cur.line)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "op" and tok.text in ("-", "!", "*"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=tok.text, operand=operand,
+                             line=tok.line)
+        if tok.kind == "op" and tok.text == "&":
+            self._advance()
+            mut = self._accept("kw", "mut") is not None
+            operand = self._parse_unary()
+            return ast.Borrow(operand=operand, mut=mut, line=tok.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._check("op", ".") and self._peek().kind in \
+                ("ident",):
+            self._advance()
+            method = self._expect("ident").text
+            self._expect("op", "(")
+            args = self._parse_args()
+            expr = ast.MethodCall(receiver=expr, method=method,
+                                  args=args, line=self._cur.line)
+        return expr
+
+    def _parse_args(self) -> List[ast.Expr]:
+        args: List[ast.Expr] = []
+        while not self._check("op", ")"):
+            if args:
+                self._expect("op", ",")
+            args.append(self._parse_expr())
+        self._expect("op", ")")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._cur
+
+        if tok.kind == "int":
+            self._advance()
+            text = tok.text.replace("_", "")
+            value = int(text, 16) if text.lower().startswith("0x") \
+                else int(text)
+            return ast.IntLit(value=value, line=tok.line)
+
+        if tok.kind == "str":
+            self._advance()
+            return ast.StrLit(value=tok.text, line=tok.line)
+
+        if self._accept("kw", "true"):
+            return ast.BoolLit(value=True, line=tok.line)
+        if self._accept("kw", "false"):
+            return ast.BoolLit(value=False, line=tok.line)
+        if self._accept("kw", "None"):
+            return ast.NoneLit(line=tok.line)
+        if self._accept("kw", "Some"):
+            self._expect("op", "(")
+            inner = self._parse_expr()
+            self._expect("op", ")")
+            return ast.SomeExpr(inner=inner, line=tok.line)
+
+        if tok.kind == "ident":
+            # panic!("message")
+            if tok.text == "panic" and self._peek().kind == "op" \
+                    and self._peek().text == "!":
+                self._advance()
+                self._advance()
+                self._expect("op", "(")
+                message = ""
+                if self._check("str"):
+                    message = self._advance().text
+                self._expect("op", ")")
+                return ast.Panic(message=message, line=tok.line)
+            # call or bare name
+            if self._peek().kind == "op" and self._peek().text == "(":
+                name = self._advance().text
+                self._expect("op", "(")
+                args = self._parse_args()
+                return ast.Call(func=name, args=args, line=tok.line)
+            self._advance()
+            return ast.Name(ident=tok.text, line=tok.line)
+
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+
+        self._error("expected an expression")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse SafeLang source into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,283 @@
+"""Typed-AST serialization: the compiled extension image format.
+
+The toolchain's output artifact is the *checked, type-annotated* AST,
+serialized deterministically.  The signature covers this serialized
+form, so whatever the kernel deserializes at load time is exactly what
+the toolchain verified — the loader performs structural decoding and
+symbol fixup only, never semantic analysis (§3.1's decoupling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.lang import ast
+from repro.core.lang import types as T
+from repro.errors import SafeLangError
+
+
+# -- types --------------------------------------------------------------------
+
+def ty_to_str(ty: Optional[T.Ty]) -> Optional[str]:
+    """Render a type to its canonical string form."""
+    if ty is None:
+        return None
+    if isinstance(ty, T.PrimTy):
+        return ty.name
+    if isinstance(ty, T.RefTy):
+        prefix = "&mut " if ty.mut else "&"
+        return prefix + ty_to_str(ty.inner)
+    if isinstance(ty, T.OptionTy):
+        return f"Option<{ty_to_str(ty.inner)}>"
+    if isinstance(ty, T.VecTy):
+        return f"Vec<{ty_to_str(ty.inner)}>"
+    if isinstance(ty, T.ResourceTy):
+        return ty.name
+    raise SafeLangError(f"unserializable type {ty!r}")
+
+
+def str_to_ty(text: Optional[str]) -> Optional[T.Ty]:
+    """Parse the canonical string form back to a type."""
+    if text is None:
+        return None
+    text = text.strip()
+    if text.startswith("&mut "):
+        return T.RefTy(str_to_ty(text[5:]), mut=True)
+    if text.startswith("&"):
+        return T.RefTy(str_to_ty(text[1:]), mut=False)
+    if text.startswith("Option<") and text.endswith(">"):
+        return T.OptionTy(str_to_ty(text[7:-1]))
+    if text.startswith("Vec<") and text.endswith(">"):
+        return T.VecTy(str_to_ty(text[4:-1]))
+    primitive = T.prim(text)
+    if primitive is not None:
+        return primitive
+    return T.ResourceTy(text)
+
+
+# -- expressions -----------------------------------------------------------------
+
+def expr_to_dict(node: Optional[ast.Expr]) -> Optional[Dict[str, Any]]:
+    """Serialize one expression subtree."""
+    if node is None:
+        return None
+    data: Dict[str, Any] = {
+        "k": type(node).__name__,
+        "line": node.line,
+        "ty": ty_to_str(node.ty),
+    }
+    if isinstance(node, ast.IntLit):
+        data["value"] = node.value
+    elif isinstance(node, ast.BoolLit):
+        data["value"] = node.value
+    elif isinstance(node, ast.StrLit):
+        data["value"] = node.value
+    elif isinstance(node, ast.NoneLit):
+        pass
+    elif isinstance(node, ast.SomeExpr):
+        data["inner"] = expr_to_dict(node.inner)
+    elif isinstance(node, ast.Name):
+        data["ident"] = node.ident
+    elif isinstance(node, ast.Unary):
+        data["op"] = node.op
+        data["operand"] = expr_to_dict(node.operand)
+    elif isinstance(node, ast.Binary):
+        data["op"] = node.op
+        data["left"] = expr_to_dict(node.left)
+        data["right"] = expr_to_dict(node.right)
+    elif isinstance(node, ast.Cast):
+        data["operand"] = expr_to_dict(node.operand)
+        data["target"] = ty_to_str(node.target)
+    elif isinstance(node, ast.Borrow):
+        data["operand"] = expr_to_dict(node.operand)
+        data["mut"] = node.mut
+    elif isinstance(node, ast.Call):
+        data["func"] = node.func
+        data["args"] = [expr_to_dict(a) for a in node.args]
+    elif isinstance(node, ast.MethodCall):
+        data["receiver"] = expr_to_dict(node.receiver)
+        data["method"] = node.method
+        data["args"] = [expr_to_dict(a) for a in node.args]
+    elif isinstance(node, ast.Panic):
+        data["message"] = node.message
+    else:
+        raise SafeLangError(f"unserializable expr {type(node).__name__}")
+    return data
+
+
+def dict_to_expr(data: Optional[Dict[str, Any]]) -> Optional[ast.Expr]:
+    """Deserialize one expression subtree."""
+    if data is None:
+        return None
+    kind = data["k"]
+    line = data.get("line", 0)
+    ty = str_to_ty(data.get("ty"))
+    if kind == "IntLit":
+        node: ast.Expr = ast.IntLit(value=data["value"], line=line)
+    elif kind == "BoolLit":
+        node = ast.BoolLit(value=data["value"], line=line)
+    elif kind == "StrLit":
+        node = ast.StrLit(value=data["value"], line=line)
+    elif kind == "NoneLit":
+        node = ast.NoneLit(line=line)
+    elif kind == "SomeExpr":
+        node = ast.SomeExpr(inner=dict_to_expr(data["inner"]), line=line)
+    elif kind == "Name":
+        node = ast.Name(ident=data["ident"], line=line)
+    elif kind == "Unary":
+        node = ast.Unary(op=data["op"],
+                         operand=dict_to_expr(data["operand"]),
+                         line=line)
+    elif kind == "Binary":
+        node = ast.Binary(op=data["op"], left=dict_to_expr(data["left"]),
+                          right=dict_to_expr(data["right"]), line=line)
+    elif kind == "Cast":
+        node = ast.Cast(operand=dict_to_expr(data["operand"]),
+                        target=str_to_ty(data["target"]), line=line)
+    elif kind == "Borrow":
+        node = ast.Borrow(operand=dict_to_expr(data["operand"]),
+                          mut=data["mut"], line=line)
+    elif kind == "Call":
+        node = ast.Call(func=data["func"],
+                        args=[dict_to_expr(a) for a in data["args"]],
+                        line=line)
+    elif kind == "MethodCall":
+        node = ast.MethodCall(receiver=dict_to_expr(data["receiver"]),
+                              method=data["method"],
+                              args=[dict_to_expr(a)
+                                    for a in data["args"]],
+                              line=line)
+    elif kind == "Panic":
+        node = ast.Panic(message=data["message"], line=line)
+    else:
+        raise SafeLangError(f"unknown expr kind {kind!r} in image")
+    node.ty = ty
+    return node
+
+
+# -- statements --------------------------------------------------------------------
+
+def stmt_to_dict(stmt: ast.Stmt) -> Dict[str, Any]:
+    """Serialize one statement."""
+    data: Dict[str, Any] = {"k": type(stmt).__name__,
+                            "line": stmt.line}
+    if isinstance(stmt, ast.Let):
+        data.update(name=stmt.name, mut=stmt.mut,
+                    declared=ty_to_str(stmt.declared_ty),
+                    value=expr_to_dict(stmt.value))
+    elif isinstance(stmt, ast.Assign):
+        data.update(target=stmt.target, value=expr_to_dict(stmt.value),
+                    through_ref=stmt.through_ref)
+    elif isinstance(stmt, ast.ExprStmt):
+        data.update(expr=expr_to_dict(stmt.expr))
+    elif isinstance(stmt, ast.If):
+        data.update(cond=expr_to_dict(stmt.cond),
+                    then=[stmt_to_dict(s) for s in stmt.then_body],
+                    els=[stmt_to_dict(s) for s in stmt.else_body]
+                    if stmt.else_body is not None else None)
+    elif isinstance(stmt, ast.While):
+        data.update(cond=expr_to_dict(stmt.cond),
+                    body=[stmt_to_dict(s) for s in stmt.body])
+    elif isinstance(stmt, ast.For):
+        data.update(var=stmt.var, lo=expr_to_dict(stmt.lo),
+                    hi=expr_to_dict(stmt.hi),
+                    body=[stmt_to_dict(s) for s in stmt.body])
+    elif isinstance(stmt, ast.Match):
+        data.update(scrutinee=expr_to_dict(stmt.scrutinee),
+                    some_var=stmt.some_var,
+                    some=[stmt_to_dict(s) for s in stmt.some_body],
+                    none=[stmt_to_dict(s) for s in stmt.none_body])
+    elif isinstance(stmt, ast.Return):
+        data.update(value=expr_to_dict(stmt.value))
+    elif isinstance(stmt, (ast.Break, ast.Continue)):
+        pass
+    elif isinstance(stmt, ast.DropStmt):
+        data.update(name=stmt.name)
+    else:
+        raise SafeLangError(
+            f"unserializable stmt {type(stmt).__name__}")
+    return data
+
+
+def dict_to_stmt(data: Dict[str, Any]) -> ast.Stmt:
+    """Deserialize one statement."""
+    kind = data["k"]
+    line = data.get("line", 0)
+    if kind == "Let":
+        return ast.Let(name=data["name"], mut=data["mut"],
+                       declared_ty=str_to_ty(data.get("declared")),
+                       value=dict_to_expr(data["value"]), line=line)
+    if kind == "Assign":
+        return ast.Assign(target=data["target"],
+                          value=dict_to_expr(data["value"]),
+                          line=line,
+                          through_ref=data.get("through_ref", False))
+    if kind == "ExprStmt":
+        return ast.ExprStmt(expr=dict_to_expr(data["expr"]), line=line)
+    if kind == "If":
+        return ast.If(cond=dict_to_expr(data["cond"]),
+                      then_body=[dict_to_stmt(s) for s in data["then"]],
+                      else_body=[dict_to_stmt(s) for s in data["els"]]
+                      if data.get("els") is not None else None,
+                      line=line)
+    if kind == "While":
+        return ast.While(cond=dict_to_expr(data["cond"]),
+                         body=[dict_to_stmt(s) for s in data["body"]],
+                         line=line)
+    if kind == "For":
+        return ast.For(var=data["var"], lo=dict_to_expr(data["lo"]),
+                       hi=dict_to_expr(data["hi"]),
+                       body=[dict_to_stmt(s) for s in data["body"]],
+                       line=line)
+    if kind == "Match":
+        return ast.Match(scrutinee=dict_to_expr(data["scrutinee"]),
+                         some_var=data["some_var"],
+                         some_body=[dict_to_stmt(s)
+                                    for s in data["some"]],
+                         none_body=[dict_to_stmt(s)
+                                    for s in data["none"]],
+                         line=line)
+    if kind == "Return":
+        return ast.Return(value=dict_to_expr(data.get("value")),
+                          line=line)
+    if kind == "Break":
+        return ast.Break(line=line)
+    if kind == "Continue":
+        return ast.Continue(line=line)
+    if kind == "DropStmt":
+        return ast.DropStmt(name=data["name"], line=line)
+    raise SafeLangError(f"unknown stmt kind {kind!r} in image")
+
+
+# -- programs -----------------------------------------------------------------------
+
+def program_to_dict(program: ast.Program) -> Dict[str, Any]:
+    """Serialize a whole (typed) program."""
+    return {
+        "functions": [
+            {
+                "name": fn.name,
+                "params": [{"name": p.name, "ty": ty_to_str(p.ty)}
+                           for p in fn.params],
+                "ret": ty_to_str(fn.ret_ty),
+                "body": [stmt_to_dict(s) for s in fn.body],
+                "line": fn.line,
+            }
+            for fn in program.functions
+        ],
+    }
+
+
+def dict_to_program(data: Dict[str, Any]) -> ast.Program:
+    """Deserialize a program image."""
+    functions: List[ast.FnDef] = []
+    for fn_data in data["functions"]:
+        functions.append(ast.FnDef(
+            name=fn_data["name"],
+            params=[ast.Param(p["name"], str_to_ty(p["ty"]))
+                    for p in fn_data["params"]],
+            ret_ty=str_to_ty(fn_data["ret"]),
+            body=[dict_to_stmt(s) for s in fn_data["body"]],
+            line=fn_data.get("line", 0),
+        ))
+    return ast.Program(functions=functions)

@@ -1,0 +1,141 @@
+"""SafeLang's type system values.
+
+Types are immutable and compared structurally.  Resource types (kernel
+handles like ``Socket``) are *move-only*: the ownership system tracks
+them so the kcrate destructor runs exactly once — the RAII property
+the paper uses to kill the reference-leak bug class (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+INT_TYPES = {"i64", "u64", "i32", "u32", "u8"}
+
+#: (umin, umax) or (smin, smax) per width
+INT_RANGES = {
+    "i64": (-(1 << 63), (1 << 63) - 1),
+    "u64": (0, (1 << 64) - 1),
+    "i32": (-(1 << 31), (1 << 31) - 1),
+    "u32": (0, (1 << 32) - 1),
+    "u8": (0, 255),
+}
+
+
+class Ty:
+    """Base class for all SafeLang types."""
+
+    def is_copy(self) -> bool:
+        """Copy types duplicate on assignment; move types transfer
+        ownership."""
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == \
+            getattr(other, "__dict__", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(
+            (k, str(v)) for k, v in self.__dict__.items()))))
+
+
+@dataclass(frozen=True, eq=False)
+class PrimTy(Ty):
+    """Primitive: integers, bool, str, unit."""
+
+    name: str
+
+    def is_copy(self) -> bool:
+        """Primitives copy freely."""
+        return True
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class RefTy(Ty):
+    """``&T`` or ``&mut T``."""
+
+    inner: Ty
+    mut: bool = False
+
+    def is_copy(self) -> bool:
+        """Shared refs are Copy; a ``&mut`` moves."""
+        return not self.mut
+
+    def __repr__(self) -> str:
+        return f"&{'mut ' if self.mut else ''}{self.inner!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class OptionTy(Ty):
+    """``Option<T>`` — SafeLang's replacement for nullable pointers."""
+
+    inner: Ty
+
+    def is_copy(self) -> bool:
+        """An Option copies iff its payload does."""
+        return self.inner.is_copy()
+
+    def __repr__(self) -> str:
+        return f"Option<{self.inner!r}>"
+
+
+@dataclass(frozen=True, eq=False)
+class ResourceTy(Ty):
+    """A kernel resource handle (Socket, SpinGuard, RingRecord, ...).
+
+    Move-only; carries a trusted destructor in the kcrate."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class VecTy(Ty):
+    """``Vec<T>`` backed by the per-CPU memory pool (§4's dynamic
+    allocation extension)."""
+
+    inner: Ty
+
+    def __repr__(self) -> str:
+        return f"Vec<{self.inner!r}>"
+
+
+# canonical instances
+I64 = PrimTy("i64")
+U64 = PrimTy("u64")
+I32 = PrimTy("i32")
+U32 = PrimTy("u32")
+U8 = PrimTy("u8")
+BOOL = PrimTy("bool")
+STR = PrimTy("str")
+UNIT = PrimTy("unit")
+
+_PRIM_BY_NAME = {t.name: t for t in (I64, U64, I32, U32, U8, BOOL, STR,
+                                     UNIT)}
+
+
+def prim(name: str) -> Optional[PrimTy]:
+    """Primitive type by name, if it exists."""
+    return _PRIM_BY_NAME.get(name)
+
+
+def is_int(ty: Ty) -> bool:
+    """True for integer primitives."""
+    return isinstance(ty, PrimTy) and ty.name in INT_TYPES
+
+
+def int_range(ty: Ty) -> Tuple[int, int]:
+    """Value range of an integer type."""
+    assert isinstance(ty, PrimTy)
+    return INT_RANGES[ty.name]
+
+
+def is_signed(ty: Ty) -> bool:
+    """True for signed integer primitives."""
+    return isinstance(ty, PrimTy) and ty.name.startswith("i")

@@ -1,0 +1,37 @@
+"""The unsafe-code gate.
+
+Paper §3.1: extensions are restricted "to only use safe Rust (i.e., no
+unsafe blocks)", so the compiler's guarantees actually hold.  The
+parser accepts ``unsafe { ... }`` syntactically — this pass is what
+rejects it, with a diagnostic pointing at the offending block.  Unsafe
+code exists only inside the trusted kernel crate, which extensions
+cannot modify.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.lang import ast
+from repro.errors import UnsafeCodeError
+
+
+def reject_unsafe(program: ast.Program) -> None:
+    """Raise :class:`UnsafeCodeError` if any function contains an
+    ``unsafe`` block."""
+    for fn in program.functions:
+        _walk(fn.body, fn.name)
+
+
+def _walk(body: List[ast.Stmt], fn_name: str) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.UnsafeBlock):
+            raise UnsafeCodeError(
+                f"line {stmt.line}: function {fn_name!r} contains an "
+                "unsafe block; extensions must be written entirely in "
+                "safe code")
+        for attr in ("then_body", "else_body", "body", "some_body",
+                     "none_body"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                _walk(inner, fn_name)

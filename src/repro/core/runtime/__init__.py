@@ -1,0 +1,22 @@
+"""Lightweight runtime mechanisms (§3.1).
+
+Language safety covers memory, types and resources; what it cannot
+cover statically without crushing expressiveness — termination, stack
+growth — is enforced *at run time*, cheaply:
+
+* :mod:`watchdog` — a virtual-clock timer that terminates overrunning
+  extensions (the anti-RCU-stall mechanism),
+* :mod:`cleanup` — the on-the-fly resource/destructor list that makes
+  termination *safe*: only trusted kcrate destructors run, no
+  ABI-based unwinding, no user ``Drop`` code,
+* :mod:`stack` — extension stack depth/size protection,
+* :mod:`mempool` — the pre-allocated per-CPU memory pool used for the
+  unwind context and for dynamic allocation (§4).
+"""
+
+from repro.core.runtime.watchdog import Watchdog
+from repro.core.runtime.cleanup import CleanupList
+from repro.core.runtime.mempool import MemoryPool
+from repro.core.runtime.stack import StackGuard
+
+__all__ = ["Watchdog", "CleanupList", "MemoryPool", "StackGuard"]

@@ -1,0 +1,65 @@
+"""The pre-allocated per-CPU memory pool.
+
+Extensions often run in non-sleepable contexts where no allocator is
+available; §3.1/§4 therefore give each CPU a fixed region carved out
+at framework init, with simple bump allocation reset after each
+extension invocation.  The pool backs both the runtime's own needs
+(the cleanup record) and SafeLang's ``Vec`` dynamic allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.cpu import Cpu
+from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class PoolBlock:
+    """One bump allocation inside the pool."""
+
+    offset: int
+    size: int
+
+
+class MemoryPool:
+    """Bump allocator over a fixed per-CPU region."""
+
+    def __init__(self, kernel: Kernel, cpu: Cpu,
+                 size: int = 16384) -> None:
+        self.kernel = kernel
+        self.cpu = cpu
+        self.size = size
+        # the region is real kernel memory, charged to the framework
+        self.region = kernel.mem.kmalloc(
+            size, type_name="safelang_pool", owner=f"pool:cpu{cpu.cpu_id}")
+        cpu.storage["safelang_pool"] = self
+        self._top = 0
+        self.high_water = 0
+        self.failed_allocs = 0
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._top
+
+    def alloc(self, size: int) -> Optional[PoolBlock]:
+        """Allocate ``size`` bytes; None when the pool is exhausted —
+        never a sleeping fallback, this is interrupt-safe by
+        construction."""
+        if size <= 0:
+            return None
+        aligned = (size + 7) & ~7
+        if self._top + aligned > self.size:
+            self.failed_allocs += 1
+            return None
+        block = PoolBlock(self._top, size)
+        self._top += aligned
+        self.high_water = max(self.high_water, self._top)
+        return block
+
+    def reset(self) -> None:
+        """Free everything (end of extension invocation)."""
+        self._top = 0

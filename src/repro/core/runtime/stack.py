@@ -1,0 +1,43 @@
+"""Stack protection for extensions.
+
+Table 2 lists stack protection as a runtime-enforced property: the
+interpreter charges each call frame against a fixed budget and
+terminates the extension (safely) when recursion or oversized frames
+would overflow — rather than corrupting adjacent kernel memory as an
+unchecked native stack would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StackOverflow
+
+
+class StackGuard:
+    """Call-depth and stack-byte accounting for one invocation."""
+
+    def __init__(self, max_depth: int = 64,
+                 max_bytes: int = 8192) -> None:
+        self.max_depth = max_depth
+        self.max_bytes = max_bytes
+        self.depth = 0
+        self.bytes_used = 0
+        self.peak_depth = 0
+
+    def push(self, frame_bytes: int, where: str = "call") -> None:
+        """Enter a frame; raises :class:`StackOverflow` on violation."""
+        if self.depth + 1 > self.max_depth:
+            raise StackOverflow(
+                f"call depth {self.depth + 1} exceeds "
+                f"{self.max_depth} at {where}", source="stack-guard")
+        if self.bytes_used + frame_bytes > self.max_bytes:
+            raise StackOverflow(
+                f"stack bytes {self.bytes_used + frame_bytes} exceed "
+                f"{self.max_bytes} at {where}", source="stack-guard")
+        self.depth += 1
+        self.bytes_used += frame_bytes
+        self.peak_depth = max(self.peak_depth, self.depth)
+
+    def pop(self, frame_bytes: int) -> None:
+        """Leave a frame."""
+        self.depth -= 1
+        self.bytes_used -= frame_bytes

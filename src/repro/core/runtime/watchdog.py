@@ -1,0 +1,63 @@
+"""The watchdog timer: runtime termination enforcement.
+
+eBPF buys termination with static limits on loops and program size —
+and still fails (§2.2's bpf_loop attack).  The proposed framework
+instead lets extensions loop freely and bounds *time*: a watchdog
+armed at entry fires when the extension exceeds its budget, and the
+runtime terminates it safely (trusted cleanup, kernel survives).
+
+The watchdog hangs off the virtual clock, so it interrupts an
+extension mid-execution the way a timer interrupt would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.ktime import VirtualClock
+
+
+class Watchdog:
+    """One armed watchdog for one extension invocation."""
+
+    def __init__(self, clock: VirtualClock, budget_ns: int,
+                 name: str = "extension") -> None:
+        if budget_ns <= 0:
+            raise ValueError("watchdog budget must be positive")
+        self.clock = clock
+        self.budget_ns = budget_ns
+        self.name = name
+        self._deadline: Optional[int] = None
+        self._fired = False
+        self._callback_name = f"watchdog:{name}:{id(self)}"
+
+    @property
+    def fired(self) -> bool:
+        """True once the budget was exceeded."""
+        return self._fired
+
+    @property
+    def armed(self) -> bool:
+        """True while the watchdog is counting down."""
+        return self._deadline is not None
+
+    def arm(self) -> None:
+        """Start the countdown (registers a clock tick hook)."""
+        self._deadline = self.clock.now_ns + self.budget_ns
+        self._fired = False
+        self.clock.add_tick_callback(self._callback_name, self._on_tick)
+
+    def disarm(self) -> None:
+        """Stop the countdown (normal extension exit)."""
+        self._deadline = None
+        self.clock.remove_tick_callback(self._callback_name)
+
+    def _on_tick(self, now_ns: int) -> None:
+        if self._deadline is not None and now_ns >= self._deadline:
+            self._fired = True
+
+    def remaining_ns(self) -> int:
+        """Budget left; 0 when expired or disarmed."""
+        if self._deadline is None:
+            return 0
+        return max(0, self._deadline - self.clock.now_ns)

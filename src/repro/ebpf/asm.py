@@ -1,0 +1,238 @@
+"""Program-builder assembler for eBPF bytecode.
+
+The builder exposes one method per instruction form plus symbolic
+labels, so tests, attacks and examples can write programs the way
+kernel selftests do::
+
+    asm = Asm()
+    (asm
+        .mov64_imm(R0, 0)
+        .jmp_imm("jne", R1, 0, "nonzero")
+        .exit_()
+        .label("nonzero")
+        .mov64_imm(R0, 1)
+        .exit_())
+    prog = asm.program()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn
+
+LabelOrOff = Union[str, int]
+
+_ALU_OPS = {
+    "add": isa.BPF_ADD, "sub": isa.BPF_SUB, "mul": isa.BPF_MUL,
+    "div": isa.BPF_DIV, "or": isa.BPF_OR, "and": isa.BPF_AND,
+    "lsh": isa.BPF_LSH, "rsh": isa.BPF_RSH, "mod": isa.BPF_MOD,
+    "xor": isa.BPF_XOR, "mov": isa.BPF_MOV, "arsh": isa.BPF_ARSH,
+}
+
+_JMP_OPS = {
+    "jeq": isa.BPF_JEQ, "jgt": isa.BPF_JGT, "jge": isa.BPF_JGE,
+    "jset": isa.BPF_JSET, "jne": isa.BPF_JNE, "jsgt": isa.BPF_JSGT,
+    "jsge": isa.BPF_JSGE, "jlt": isa.BPF_JLT, "jle": isa.BPF_JLE,
+    "jslt": isa.BPF_JSLT, "jsle": isa.BPF_JSLE,
+}
+
+_SIZES = {1: isa.BPF_B, 2: isa.BPF_H, 4: isa.BPF_W, 8: isa.BPF_DW}
+
+
+class Asm:
+    """Incremental eBPF program builder with label resolution."""
+
+    def __init__(self) -> None:
+        self._insns: List[Insn] = []
+        self._labels: Dict[str, int] = {}
+        # (insn index, label, field) triples awaiting resolution;
+        # field is "off" for jumps, "imm" for pseudo call/func targets
+        self._fixups: List[Tuple[int, str, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._insns)
+
+    # -- labels ---------------------------------------------------------------
+
+    def label(self, name: str) -> "Asm":
+        """Bind ``name`` to the next instruction's index."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+        return self
+
+    def _emit(self, insn: Insn) -> "Asm":
+        self._insns.append(insn)
+        return self
+
+    def _emit_jump(self, opcode: int, dst: int, src: int, imm: int,
+                   target: LabelOrOff) -> "Asm":
+        if isinstance(target, str):
+            self._fixups.append((len(self._insns), target, "off"))
+            off = 0
+        else:
+            off = target
+        return self._emit(Insn(opcode, dst, src, off, imm))
+
+    # -- ALU ------------------------------------------------------------------
+
+    def alu64_imm(self, op: str, dst: int, imm: int) -> "Asm":
+        """64-bit ALU with immediate operand."""
+        return self._emit(Insn(isa.BPF_ALU64 | _ALU_OPS[op] | isa.BPF_K,
+                               dst, 0, 0, imm))
+
+    def alu64_reg(self, op: str, dst: int, src: int) -> "Asm":
+        """64-bit ALU with register operand."""
+        return self._emit(Insn(isa.BPF_ALU64 | _ALU_OPS[op] | isa.BPF_X,
+                               dst, src, 0, 0))
+
+    def alu32_imm(self, op: str, dst: int, imm: int) -> "Asm":
+        """32-bit ALU with immediate operand (zero-extends the result)."""
+        return self._emit(Insn(isa.BPF_ALU | _ALU_OPS[op] | isa.BPF_K,
+                               dst, 0, 0, imm))
+
+    def alu32_reg(self, op: str, dst: int, src: int) -> "Asm":
+        """32-bit ALU with register operand."""
+        return self._emit(Insn(isa.BPF_ALU | _ALU_OPS[op] | isa.BPF_X,
+                               dst, src, 0, 0))
+
+    def mov64_imm(self, dst: int, imm: int) -> "Asm":
+        """dst = imm (sign-extended to 64 bits)."""
+        return self.alu64_imm("mov", dst, imm)
+
+    def mov64_reg(self, dst: int, src: int) -> "Asm":
+        """dst = src."""
+        return self.alu64_reg("mov", dst, src)
+
+    def neg64(self, dst: int) -> "Asm":
+        """dst = -dst."""
+        return self._emit(Insn(isa.BPF_ALU64 | isa.BPF_NEG, dst, 0, 0, 0))
+
+    # -- memory ---------------------------------------------------------------
+
+    def ld_imm64(self, dst: int, value: int) -> "Asm":
+        """Two-slot 64-bit immediate load."""
+        lo = value & 0xFFFFFFFF
+        hi = (value >> 32) & 0xFFFFFFFF
+        self._emit(Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW,
+                        dst, 0, 0, lo))
+        return self._emit(Insn(0, 0, 0, 0, hi))
+
+    def ld_map_fd(self, dst: int, map_fd: int) -> "Asm":
+        """Load a map reference (``BPF_PSEUDO_MAP_FD``)."""
+        self._emit(Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW,
+                        dst, isa.BPF_PSEUDO_MAP_FD, 0, map_fd))
+        return self._emit(Insn(0, 0, 0, 0, 0))
+
+    def ld_func(self, dst: int, target: LabelOrOff) -> "Asm":
+        """Load a callback reference (``BPF_PSEUDO_FUNC``), e.g. the
+        bpf_loop callback.  ``imm`` is relative to the next insn."""
+        if isinstance(target, str):
+            self._fixups.append((len(self._insns), target, "imm"))
+            imm = 0
+        else:
+            imm = target
+        self._emit(Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW,
+                        dst, isa.BPF_PSEUDO_FUNC, 0, imm))
+        return self._emit(Insn(0, 0, 0, 0, 0))
+
+    def ldx(self, size: int, dst: int, src: int, off: int) -> "Asm":
+        """dst = *(size*)(src + off)."""
+        return self._emit(Insn(isa.BPF_LDX | _SIZES[size] | isa.BPF_MEM,
+                               dst, src, off, 0))
+
+    def stx(self, size: int, dst: int, off: int, src: int) -> "Asm":
+        """*(size*)(dst + off) = src."""
+        return self._emit(Insn(isa.BPF_STX | _SIZES[size] | isa.BPF_MEM,
+                               dst, src, off, 0))
+
+    def st_imm(self, size: int, dst: int, off: int, imm: int) -> "Asm":
+        """*(size*)(dst + off) = imm."""
+        return self._emit(Insn(isa.BPF_ST | _SIZES[size] | isa.BPF_MEM,
+                               dst, 0, off, imm))
+
+    def atomic_add(self, size: int, dst: int, off: int,
+                   src: int) -> "Asm":
+        """Atomic ``*(size*)(dst + off) += src`` (XADD); size 4 or 8."""
+        if size not in (4, 8):
+            raise ValueError("atomic ops are 4 or 8 bytes")
+        return self._emit(Insn(
+            isa.BPF_STX | _SIZES[size] | isa.BPF_ATOMIC,
+            dst, src, off, isa.BPF_ADD))
+
+    # -- control flow -----------------------------------------------------------
+
+    def ja(self, target: LabelOrOff) -> "Asm":
+        """Unconditional jump."""
+        return self._emit_jump(isa.BPF_JMP | isa.BPF_JA, 0, 0, 0, target)
+
+    def jmp_imm(self, op: str, dst: int, imm: int,
+                target: LabelOrOff) -> "Asm":
+        """Conditional jump comparing ``dst`` with an immediate."""
+        return self._emit_jump(isa.BPF_JMP | _JMP_OPS[op] | isa.BPF_K,
+                               dst, 0, imm, target)
+
+    def jmp_reg(self, op: str, dst: int, src: int,
+                target: LabelOrOff) -> "Asm":
+        """Conditional jump comparing two registers."""
+        return self._emit_jump(isa.BPF_JMP | _JMP_OPS[op] | isa.BPF_X,
+                               dst, src, 0, target)
+
+    def jmp32_imm(self, op: str, dst: int, imm: int,
+                  target: LabelOrOff) -> "Asm":
+        """Conditional jump on the low 32 bits vs an immediate."""
+        return self._emit_jump(isa.BPF_JMP32 | _JMP_OPS[op] | isa.BPF_K,
+                               dst, 0, imm, target)
+
+    def jmp32_reg(self, op: str, dst: int, src: int,
+                  target: LabelOrOff) -> "Asm":
+        """Conditional jump on the low 32 bits of two registers."""
+        return self._emit_jump(isa.BPF_JMP32 | _JMP_OPS[op] | isa.BPF_X,
+                               dst, src, 0, target)
+
+    def call(self, helper_id: int) -> "Asm":
+        """Call a helper function by id."""
+        return self._emit(Insn(isa.BPF_JMP | isa.BPF_CALL, 0, 0, 0,
+                               helper_id))
+
+    def call_subprog(self, target: LabelOrOff) -> "Asm":
+        """BPF-to-BPF call (``BPF_PSEUDO_CALL``) [45]."""
+        if isinstance(target, str):
+            self._fixups.append((len(self._insns), target, "imm"))
+            imm = 0
+        else:
+            imm = target
+        return self._emit(Insn(isa.BPF_JMP | isa.BPF_CALL, 0,
+                               isa.BPF_PSEUDO_CALL, 0, imm))
+
+    def exit_(self) -> "Asm":
+        """Return R0 to the kernel."""
+        return self._emit(Insn(isa.BPF_JMP | isa.BPF_EXIT, 0, 0, 0, 0))
+
+    # -- raw escape hatch -------------------------------------------------------
+
+    def raw(self, insn: Insn) -> "Asm":
+        """Emit a pre-built instruction (used by attack programs that
+        need encodings no sane builder would produce)."""
+        return self._emit(insn)
+
+    # -- finalization -------------------------------------------------------------
+
+    def program(self) -> List[Insn]:
+        """Resolve labels and return the instruction list."""
+        insns = list(self._insns)
+        for index, label, fixup_field in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            # targets are relative to the *next* instruction
+            delta = self._labels[label] - index - 1
+            old = insns[index]
+            if fixup_field == "off":
+                insns[index] = Insn(old.opcode, old.dst, old.src,
+                                    delta, old.imm)
+            else:
+                insns[index] = Insn(old.opcode, old.dst, old.src,
+                                    old.off, delta)
+        return insns

@@ -1,0 +1,111 @@
+"""eBPF disassembler.
+
+Produces the ``bpftool``-style listing used in verifier logs and in
+the examples, e.g. ``r0 = 42`` / ``if r1 != 0 goto +2`` /
+``r2 = *(u32 *)(r1 +4)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn
+
+_SIZE_NAMES = {isa.BPF_B: "u8", isa.BPF_H: "u16",
+               isa.BPF_W: "u32", isa.BPF_DW: "u64"}
+
+_JMP_SYMBOLS = {
+    isa.BPF_JEQ: "==", isa.BPF_JNE: "!=",
+    isa.BPF_JGT: ">", isa.BPF_JGE: ">=",
+    isa.BPF_JLT: "<", isa.BPF_JLE: "<=",
+    isa.BPF_JSGT: "s>", isa.BPF_JSGE: "s>=",
+    isa.BPF_JSLT: "s<", isa.BPF_JSLE: "s<=",
+    isa.BPF_JSET: "&",
+}
+
+_ALU_SYMBOLS = {
+    isa.BPF_ADD: "+=", isa.BPF_SUB: "-=", isa.BPF_MUL: "*=",
+    isa.BPF_DIV: "/=", isa.BPF_OR: "|=", isa.BPF_AND: "&=",
+    isa.BPF_LSH: "<<=", isa.BPF_RSH: ">>=", isa.BPF_MOD: "%=",
+    isa.BPF_XOR: "^=", isa.BPF_MOV: "=", isa.BPF_ARSH: "s>>=",
+}
+
+
+def disasm_insn(insn: Insn, index: int = 0,
+                next_insn: Insn = None) -> str:
+    """Disassemble one instruction (``next_insn`` completes LD_IMM64)."""
+    cls = insn.insn_class
+
+    if insn.is_ld_imm64:
+        hi = next_insn.imm if next_insn is not None else 0
+        value = (hi << 32) | (insn.imm & 0xFFFFFFFF)
+        if insn.src == isa.BPF_PSEUDO_MAP_FD:
+            return f"r{insn.dst} = map_fd[{insn.imm}]"
+        return f"r{insn.dst} = {value:#x} ll"
+
+    if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+        op = insn.opcode & isa.ALU_OP_MASK
+        suffix = "" if cls == isa.BPF_ALU64 else " (u32)"
+        if op == isa.BPF_NEG:
+            return f"r{insn.dst} = -r{insn.dst}{suffix}"
+        if op == isa.BPF_END:
+            return f"r{insn.dst} = bswap{insn.imm}(r{insn.dst})"
+        sym = _ALU_SYMBOLS[op]
+        if insn.opcode & isa.BPF_X:
+            return f"r{insn.dst} {sym} r{insn.src}{suffix}"
+        return f"r{insn.dst} {sym} {insn.imm}{suffix}"
+
+    if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+        op = insn.opcode & isa.JMP_OP_MASK
+        if op == isa.BPF_CALL:
+            if insn.src == isa.BPF_PSEUDO_CALL:
+                return f"call subprog{insn.imm:+d}"
+            return f"call helper#{insn.imm}"
+        if op == isa.BPF_EXIT:
+            return "exit"
+        if op == isa.BPF_JA:
+            return f"goto {insn.off:+d}"
+        sym = _JMP_SYMBOLS[op]
+        # jmp32 compares the w (32-bit) subregisters
+        reg_prefix = "w" if cls == isa.BPF_JMP32 else "r"
+        rhs = f"{reg_prefix}{insn.src}" if insn.opcode & isa.BPF_X \
+            else str(insn.imm)
+        return (f"if {reg_prefix}{insn.dst} {sym} {rhs} "
+                f"goto {insn.off:+d}")
+
+    if cls == isa.BPF_LDX:
+        size = _SIZE_NAMES[insn.opcode & isa.SIZE_MASK]
+        return (f"r{insn.dst} = *({size} *)"
+                f"(r{insn.src} {insn.off:+d})")
+
+    if cls == isa.BPF_STX:
+        size = _SIZE_NAMES[insn.opcode & isa.SIZE_MASK]
+        if (insn.opcode & isa.MODE_MASK) == isa.BPF_ATOMIC:
+            return (f"lock *({size} *)(r{insn.dst} {insn.off:+d})"
+                    f" += r{insn.src}")
+        return (f"*({size} *)(r{insn.dst} {insn.off:+d})"
+                f" = r{insn.src}")
+
+    if cls == isa.BPF_ST:
+        size = _SIZE_NAMES[insn.opcode & isa.SIZE_MASK]
+        return (f"*({size} *)(r{insn.dst} {insn.off:+d})"
+                f" = {insn.imm}")
+
+    return f".insn {insn.opcode:#04x}, {insn.dst}, {insn.src}, " \
+           f"{insn.off}, {insn.imm}"
+
+
+def disasm(program: List[Insn]) -> str:
+    """Disassemble a whole program with instruction indices."""
+    lines = []
+    skip_next = False
+    for index, insn in enumerate(program):
+        if skip_next:
+            skip_next = False
+            continue
+        nxt = program[index + 1] if index + 1 < len(program) else None
+        if insn.is_ld_imm64:
+            skip_next = True
+        lines.append(f"{index:4d}: {disasm_insn(insn, index, nxt)}")
+    return "\n".join(lines)

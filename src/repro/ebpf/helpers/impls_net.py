@@ -1,0 +1,69 @@
+"""Networking helper implementations: socket lookup and release.
+
+Models the ``sk_lookup`` family, including the request-sock reference
+leak of the paper's Table 1 ([35]: "bpf: Fix request_sock leak in sk
+lookup helpers").
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.helpers.base import HelperCallContext
+
+EINVAL = 22
+
+#: struct bpf_sock_tuple (ipv4): saddr(4) daddr(4) sport(2) dport(2)
+SOCK_TUPLE_V4_SIZE = 12
+
+#: TCP_NEW_SYN_RECV: connection has a pending request sock
+TCP_NEW_SYN_RECV = 12
+
+
+def bpf_sk_lookup_tcp(ctx: HelperCallContext) -> int:
+    """``struct bpf_sock *bpf_sk_lookup_tcp(ctx, tuple, tuple_size,
+    netns, flags)``.
+
+    Looks up a socket by destination tuple and *acquires a reference*
+    on it; the verifier requires the program to release it via
+    ``bpf_sk_release`` before exit.
+
+    The [35] bug: when the destination has a connection request in
+    flight (listener in ``TCP_NEW_SYN_RECV`` handling), the kernel
+    takes an extra reference on the ``request_sock`` during the lookup
+    that the release path never drops.  The program can behave
+    perfectly — call ``bpf_sk_release`` exactly once, satisfying the
+    verifier — and the kernel still leaks a reference.
+    """
+    tuple_ptr, tuple_size = ctx.args[1], ctx.args[2]
+    if tuple_size != SOCK_TUPLE_V4_SIZE:
+        return 0
+    raw = ctx.kernel.mem.read(tuple_ptr, tuple_size,
+                              source=ctx.vm.prog_tag)
+    daddr = int.from_bytes(raw[4:8], "little")
+    dport = int.from_bytes(raw[10:12], "little")
+    sock = ctx.kernel.lookup_socket(daddr, dport)
+    if sock is None:
+        return 0
+    # the reference the program is responsible for
+    sock.refs.get(ctx.vm.prog_tag)
+    if ctx.vm.bugs.sk_lookup_reqsk_leak \
+            and sock.read_field("state") == TCP_NEW_SYN_RECV:
+        # buggy path: grab the pending request sock's ref and lose it
+        reqsk = ctx.vm.find_request_sock_for(sock)
+        if reqsk is not None:
+            reqsk.refs.get("kernel-sk-lookup-lost")
+    return sock.address
+
+
+def bpf_sk_lookup_udp(ctx: HelperCallContext) -> int:
+    """``struct bpf_sock *bpf_sk_lookup_udp(...)`` — same model."""
+    return bpf_sk_lookup_tcp(ctx)
+
+
+def bpf_sk_release(ctx: HelperCallContext) -> int:
+    """``long bpf_sk_release(sock)`` — drop the acquired reference."""
+    sock_addr = ctx.args[0]
+    for sock in ctx.kernel.sockets:
+        if sock.address == sock_addr:
+            sock.refs.put(ctx.vm.prog_tag)
+            return 0
+    return -EINVAL

@@ -1,0 +1,327 @@
+"""System helper implementations: locks, strings, ringbuf, task
+storage, ``bpf_loop``, ``bpf_tail_call`` and ``bpf_sys_bpf``.
+
+This module contains the paper's headline escape hatches:
+
+* ``bpf_sys_bpf`` with the CVE-2022-2785 NULL-in-union bug (§2.2),
+* ``bpf_loop``, the building block of the RCU-stall attack (§2.2),
+* ``bpf_get_task_stack`` / ``bpf_task_storage_get`` with their
+  Table 1 bugs ([34], [42]).
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.helpers.base import HelperCallContext
+
+EINVAL = 22
+EFAULT = 14
+ENOENT = 2
+EPERM = 1
+E2BIG = 7
+
+#: BPF_MAX_LOOPS: bpf_loop accepts up to 1 << 23 iterations
+BPF_MAX_LOOPS = 1 << 23
+
+# bpf(2) commands understood by the modeled syscall
+BPF_MAP_CREATE = 0
+BPF_MAP_LOOKUP_ELEM = 1
+BPF_MAP_UPDATE_ELEM = 2
+BPF_MAP_DELETE_ELEM = 3
+BPF_PROG_LOAD = 5
+
+
+def bpf_spin_lock(ctx: HelperCallContext) -> int:
+    """``long bpf_spin_lock(lock)`` — lock lives inside a map value."""
+    bpf_map = ctx.vm.find_map_by_value_addr(ctx.args[0])
+    if bpf_map is None or bpf_map.spin_lock is None:
+        return -EINVAL
+    bpf_map.spin_lock.lock(ctx.vm.prog_tag)
+    return 0
+
+
+def bpf_spin_unlock(ctx: HelperCallContext) -> int:
+    """``long bpf_spin_unlock(lock)``."""
+    bpf_map = ctx.vm.find_map_by_value_addr(ctx.args[0])
+    if bpf_map is None or bpf_map.spin_lock is None:
+        return -EINVAL
+    bpf_map.spin_lock.unlock(ctx.vm.prog_tag)
+    return 0
+
+
+def bpf_strtol(ctx: HelperCallContext) -> int:
+    """``long bpf_strtol(buf, buf_len, flags, res)``.
+
+    A pure string-parsing routine exposed as kernel code solely
+    because eBPF cannot express it — the paper's first example of a
+    helper that safe-language extensions simply retire (§3.2, it maps
+    to ``core::str::parse`` in Rust).
+    """
+    buf, buf_len, flags, res = ctx.args[:4]
+    if flags not in (0, 10, 16):
+        return -EINVAL
+    raw = ctx.kernel.mem.read(buf, buf_len, source=ctx.vm.prog_tag)
+    text = raw.split(b"\x00")[0].decode("latin-1").strip()
+    base = flags if flags else 10
+    # consume the longest valid prefix, as strtol does
+    consumed, value = 0, 0
+    sign = 1
+    index = 0
+    if index < len(text) and text[index] in "+-":
+        sign = -1 if text[index] == "-" else 1
+        index += 1
+    digits = "0123456789abcdef"[:base]
+    start = index
+    while index < len(text) and text[index].lower() in digits:
+        value = value * base + digits.index(text[index].lower())
+        index += 1
+    if index == start:
+        return -EINVAL
+    ctx.kernel.mem.write_u64(res, (sign * value) & ((1 << 64) - 1),
+                             source=ctx.vm.prog_tag)
+    return index
+
+
+def bpf_strncmp(ctx: HelperCallContext) -> int:
+    """``long bpf_strncmp(s1, s1_sz, s2)`` — another retired-class
+    helper: expressible entirely in a safe language."""
+    s1, s1_sz, s2 = ctx.args[:3]
+    mem = ctx.kernel.mem
+    a = mem.read(s1, s1_sz, source=ctx.vm.prog_tag)
+    for index in range(s1_sz):
+        b_byte = mem.read(s2 + index, 1, source=ctx.vm.prog_tag)[0]
+        diff = a[index] - b_byte
+        if diff:
+            return 1 if diff > 0 else -1
+        if a[index] == 0:
+            return 0
+    return 0
+
+
+def bpf_ringbuf_output(ctx: HelperCallContext) -> int:
+    """``long bpf_ringbuf_output(ringbuf, data, size, flags)``."""
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[0])
+    if bpf_map is None or bpf_map.map_type != "ringbuf":
+        return -EINVAL
+    data = ctx.kernel.mem.read(ctx.args[1], ctx.args[2],
+                               source=ctx.vm.prog_tag)
+    return bpf_map.output(data)
+
+
+def bpf_ringbuf_reserve(ctx: HelperCallContext) -> int:
+    """``void *bpf_ringbuf_reserve(ringbuf, size, flags)``.
+
+    Acquires referenced memory: the verifier demands a matching
+    submit/discard on every path.
+    """
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[0])
+    if bpf_map is None or bpf_map.map_type != "ringbuf":
+        return 0
+    addr = bpf_map.reserve(ctx.args[1])
+    return addr if addr is not None else 0
+
+
+def bpf_ringbuf_submit(ctx: HelperCallContext) -> int:
+    """``void bpf_ringbuf_submit(data, flags)``."""
+    bpf_map = ctx.vm.find_map_by_value_addr(ctx.args[0])
+    for candidate in ctx.vm.subsystem.all_maps():
+        if candidate.map_type == "ringbuf":
+            if candidate.submit(ctx.args[0]) == 0:
+                return 0
+    return -EINVAL
+
+
+def bpf_ringbuf_discard(ctx: HelperCallContext) -> int:
+    """``void bpf_ringbuf_discard(data, flags)`` — treated as submit
+    of nothing; the reservation is consumed either way."""
+    return bpf_ringbuf_submit(ctx)
+
+
+def bpf_get_task_stack(ctx: HelperCallContext) -> int:
+    """``long bpf_get_task_stack(task, buf, size, flags)``.
+
+    The [34] bug: the helper walks the target task's kernel stack
+    *without taking a reference on it*.  If the task exits concurrently
+    (simulated by the stack allocation being freed), the walk is a
+    use-after-free — a kernel crash caused by a verified program.
+    The patched version uses the non-faulting read and returns -EFAULT.
+    """
+    task_addr, buf, size = ctx.args[0], ctx.args[1], ctx.args[2]
+    mem = ctx.kernel.mem
+    task = next((t for t in ctx.kernel.tasks
+                 if t.address == task_addr), None)
+    if task is None:
+        return -EINVAL
+    copy_len = min(size, task.kernel_stack.size)
+    if ctx.vm.bugs.task_stack_missing_ref:
+        # buggy path: raw read; faults (oops) if the stack died
+        data = mem.read(task.kernel_stack.base, copy_len,
+                        source=ctx.vm.prog_tag)
+    else:
+        # patched path [34]: pin the task, read non-faulting
+        task.refs.get("bpf_get_task_stack")
+        try:
+            maybe = mem.try_read(task.kernel_stack.base, copy_len)
+        finally:
+            task.refs.put("bpf_get_task_stack")
+        if maybe is None:
+            return -EFAULT
+        data = maybe
+    mem.write(buf, data, source=ctx.vm.prog_tag)
+    return copy_len
+
+
+def bpf_task_storage_get(ctx: HelperCallContext) -> int:
+    """``void *bpf_task_storage_get(map, task, value, flags)``.
+
+    The [42] bug: the helper dereferences the owner ``task_struct``
+    pointer without a NULL check.  The verifier cannot help — it has
+    no idea which argument values are safe for this helper — so a
+    verified program passing NULL crashes the kernel.
+    """
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[0])
+    task_addr, flags = ctx.args[1], ctx.args[3]
+    if bpf_map is None or bpf_map.map_type != "task_storage":
+        return 0
+    if task_addr == 0 and not ctx.vm.bugs.task_storage_null_deref:
+        return 0  # the patched NULL check [42]
+    # deref the task to find its storage slot: with task_addr == 0
+    # and the bug present, this is the NULL dereference
+    ctx.kernel.mem.read(task_addr, 8, source=ctx.vm.prog_tag)
+    create = bool(flags & 1)  # BPF_LOCAL_STORAGE_GET_F_CREATE
+    addr = bpf_map.storage_for(task_addr, create)
+    return addr if addr is not None else 0
+
+
+def bpf_task_storage_delete(ctx: HelperCallContext) -> int:
+    """``long bpf_task_storage_delete(map, task)``."""
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[0])
+    task_addr = ctx.args[1]
+    if bpf_map is None or bpf_map.map_type != "task_storage":
+        return -EINVAL
+    if task_addr == 0 and not ctx.vm.bugs.task_storage_null_deref:
+        return -EINVAL
+    ctx.kernel.mem.read(task_addr, 8, source=ctx.vm.prog_tag)
+    return bpf_map.delete_for(task_addr)
+
+
+def bpf_tail_call(ctx: HelperCallContext) -> int:
+    """``long bpf_tail_call(ctx, prog_array_map, index)`` [44].
+
+    On success never returns to the caller: the VM replaces the
+    running program.  Chains are capped at 33 at run time.
+    """
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[1])
+    index = ctx.args[2]
+    if bpf_map is None or bpf_map.map_type != "prog_array":
+        return -EINVAL
+    prog = bpf_map.get_prog(index)
+    if prog is None:
+        return -ENOENT
+    ctx.vm.request_tail_call(prog)
+    return 0  # unreachable on success; VM unwinds first
+
+
+def bpf_loop(ctx: HelperCallContext) -> int:
+    """``long bpf_loop(nr_loops, callback_fn, callback_ctx, flags)``.
+
+    "Merely provides a loop mechanism" (§3.2) — and is the engine of
+    the §2.2 termination attack: total runtime is linear in
+    ``nr_loops``, and nesting multiplies it.
+    """
+    nr_loops, callback, cb_ctx, flags = ctx.args[:4]
+    if flags != 0 or nr_loops > BPF_MAX_LOOPS:
+        return -E2BIG
+    callback_idx = ctx.vm.resolve_func_ptr(callback)
+    if callback_idx is None:
+        return -EINVAL
+    return ctx.vm.execute_loop(callback_idx, nr_loops, cb_ctx)
+
+
+def bpf_sys_bpf(ctx: HelperCallContext) -> int:
+    """``long bpf_sys_bpf(cmd, attr, attr_size)``.
+
+    The widest escape hatch: a verified program invoking the ``bpf(2)``
+    syscall from kernel context.  Figure 3's maximum — 4845 functions
+    in its call graph.
+
+    ``attr`` is a *union* whose interpretation depends on ``cmd``;
+    several variants embed userspace pointers.  The verifier checks
+    only that ``attr`` points to ``attr_size`` readable bytes — it
+    "does not perform deep argument inspection" (§2.2) — so pointer
+    fields *inside* the union reach kernel code unchecked.  With the
+    CVE-2022-2785 bug present, a NULL key/value pointer in the
+    ``MAP_UPDATE_ELEM`` variant (or a NULL insns pointer in
+    ``PROG_LOAD``) is dereferenced in kernel context: kernel crash.
+    """
+    cmd, attr_ptr, attr_size = ctx.args[:3]
+    mem = ctx.kernel.mem
+    vm = ctx.vm
+
+    if cmd == BPF_MAP_CREATE:
+        if attr_size < 16:
+            return -EINVAL
+        raw = mem.read(attr_ptr, 16, source=vm.prog_tag)
+        key_size = int.from_bytes(raw[4:8], "little")
+        value_size = int.from_bytes(raw[8:12], "little")
+        max_entries = int.from_bytes(raw[12:16], "little")
+        try:
+            new_map = vm.subsystem.create_map(
+                "hash", key_size=key_size, value_size=value_size,
+                max_entries=max_entries)
+        except Exception:
+            return -EINVAL
+        return new_map.map_fd
+
+    if cmd in (BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM,
+               BPF_MAP_DELETE_ELEM):
+        # union bpf_attr { u32 map_fd; u64 key; u64 value; u64 flags; }
+        if attr_size < 32:
+            return -EINVAL
+        raw = mem.read(attr_ptr, 32, source=vm.prog_tag)
+        map_fd = int.from_bytes(raw[0:4], "little")
+        key_ptr = int.from_bytes(raw[8:16], "little")
+        value_ptr = int.from_bytes(raw[16:24], "little")
+        bpf_map = vm.subsystem.map_by_fd(map_fd)
+        if bpf_map is None:
+            return -EINVAL
+        if not vm.bugs.sys_bpf_null_union:
+            # patched: validate embedded pointers before dereferencing
+            if not mem.valid_range(key_ptr, bpf_map.key_size):
+                return -EFAULT
+            if cmd == BPF_MAP_UPDATE_ELEM \
+                    and not mem.valid_range(value_ptr, bpf_map.value_size):
+                return -EFAULT
+        # (buggy path: straight dereference — NULL key_ptr oopses here)
+        key = mem.read(key_ptr, bpf_map.key_size, source="bpf_sys_bpf")
+        if cmd == BPF_MAP_LOOKUP_ELEM:
+            addr = bpf_map.lookup_addr(key)
+            if addr is None:
+                return -ENOENT
+            value = mem.read(addr, bpf_map.value_size,
+                             source="bpf_sys_bpf")
+            mem.write(value_ptr, value, source="bpf_sys_bpf")
+            return 0
+        if cmd == BPF_MAP_UPDATE_ELEM:
+            value = mem.read(value_ptr, bpf_map.value_size,
+                             source="bpf_sys_bpf")
+            return bpf_map.update(key, value)
+        return bpf_map.delete(key)
+
+    if cmd == BPF_PROG_LOAD:
+        # union bpf_attr { u32 prog_type; u32 insn_cnt; u64 insns; ... }
+        if attr_size < 16:
+            return -EINVAL
+        raw = mem.read(attr_ptr, 16, source=vm.prog_tag)
+        insn_cnt = int.from_bytes(raw[4:8], "little")
+        insns_ptr = int.from_bytes(raw[8:16], "little")
+        if insn_cnt == 0 or insn_cnt > 4096:
+            return -EINVAL
+        if not vm.bugs.sys_bpf_null_union:
+            if not mem.valid_range(insns_ptr, insn_cnt * 8):
+                return -EFAULT
+        # buggy path dereferences the embedded pointer directly
+        mem.read(insns_ptr, insn_cnt * 8, source="bpf_sys_bpf")
+        # nested program loading is parsed but refused in the model
+        return -EPERM
+
+    return -EINVAL

@@ -1,0 +1,377 @@
+"""The eBPF bytecode VM.
+
+Executes programs concretely against the simulated kernel.  The VM
+enforces *nothing*: safety is whatever the verifier proved plus
+whatever the helpers actually do — which is the paper's point.  Every
+load/store goes through the kernel's checked memory, so an unverified
+assumption (a buggy helper, a miscompiled branch, a fabricated
+pointer) ends in a genuine kernel oops, not a Python traceback.
+
+Programs run under ``rcu_read_lock`` with preemption disabled, exactly
+like real eBPF — which is why a non-terminating program causes RCU
+stalls (§2.2).  Long ``bpf_loop`` runs are *fast-forwarded*: after a
+sampled prefix of concrete iterations, the remaining iterations charge
+virtual time at the measured per-iteration cost.  This keeps the
+paper's 800-second stall (and far longer) executable in milliseconds
+of host time while preserving the linear runtime-vs-iterations law the
+experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ebpf import isa
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.helpers.base import HelperCallContext
+from repro.ebpf.isa import Insn, to_s64, to_u64
+from repro.errors import BpfRuntimeError
+from repro.kernel.kernel import Kernel
+
+#: sentinel base address for map references in registers
+MAP_PTR_BASE = 0xFFFF_C900_0000_0000
+#: sentinel base address for callback (func) references
+FUNC_PTR_BASE = 0xFFFF_FFFF_A000_0000
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+
+class TailCallRequest(Exception):
+    """Raised by ``bpf_tail_call`` to unwind into the dispatch loop."""
+
+    def __init__(self, prog: object) -> None:
+        super().__init__("tail call")
+        self.prog = prog
+
+
+class BpfVm:
+    """One execution engine bound to a kernel and the bpf subsystem."""
+
+    def __init__(self, kernel: Kernel, subsystem: "object",
+                 bugs: Optional[BugConfig] = None,
+                 loop_sample_limit: int = 256) -> None:
+        self.kernel = kernel
+        self.subsystem = subsystem
+        self.bugs = bugs or BugConfig()
+        #: concrete iterations executed before fast-forwarding a loop
+        self.loop_sample_limit = loop_sample_limit
+        self.insns_executed = 0
+        #: crossings from verified bytecode into unverified kernel C
+        self.helper_calls = 0
+        self._prandom_state = 0x2545F491
+        self._current_prog: Optional[object] = None
+        self._insns: List[Insn] = []
+
+    # -- identity used for refcount/lock/fault attribution -----------------
+
+    @property
+    def prog_tag(self) -> str:
+        """Attribution tag of the running program."""
+        if self._current_prog is None:
+            return "bpf"
+        return f"bpf:{self._current_prog.name}"
+
+    # -- top-level dispatch ---------------------------------------------------
+
+    def run(self, prog: object, ctx_addr: int) -> int:
+        """Run a loaded program on a context address, with the real
+        eBPF execution environment: RCU read lock held, preemption
+        off, tail calls honoured up to the chain limit."""
+        cpu = self.kernel.current_cpu
+        rcu = self.kernel.rcu
+        tail_calls = 0
+        current = prog
+        rcu.read_lock(holder=f"bpf:{prog.name}")
+        cpu.preempt_disable()
+        try:
+            while True:
+                self._current_prog = current
+                self._insns = current.runnable_insns()
+                try:
+                    return self._run_frame(0, [0] * 11, ctx_addr,
+                                           depth=0)
+                except TailCallRequest as req:
+                    tail_calls += 1
+                    if tail_calls > self.subsystem.limits.max_tail_calls:
+                        raise BpfRuntimeError(
+                            "tail call chain exceeded "
+                            f"{self.subsystem.limits.max_tail_calls}")
+                    current = req.prog
+        finally:
+            self._current_prog = None
+            cpu.preempt_enable()
+            rcu.read_unlock()
+
+    # -- frame execution ---------------------------------------------------------
+
+    def _run_frame(self, start_idx: int, caller_regs: Sequence[int],
+                   ctx_addr: Optional[int], depth: int) -> int:
+        """Execute from ``start_idx`` to EXIT in a fresh frame."""
+        if depth > 8:
+            raise BpfRuntimeError("call depth exceeded at run time")
+        mem = self.kernel.mem
+        stack = mem.kmalloc(512, type_name="bpf_stack",
+                            owner=self.prog_tag)
+        regs = [0] * 11
+        if ctx_addr is not None:
+            regs[1] = to_u64(ctx_addr)
+        else:
+            regs[1:6] = [to_u64(v) for v in caller_regs[1:6]]
+        regs[10] = stack.base + 512
+        insns = self._insns
+        idx = start_idx
+        try:
+            while True:
+                if not 0 <= idx < len(insns):
+                    raise BpfRuntimeError(f"pc out of range: {idx}")
+                insn = insns[idx]
+                self.insns_executed += 1
+                self.kernel.work(1)
+                cls = insn.insn_class
+
+                if insn.is_ld_imm64:
+                    regs[insn.dst] = self._ld_imm64_value(insn, insns,
+                                                          idx)
+                    idx += 2
+                    continue
+                if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+                    self._alu(regs, insn, cls == isa.BPF_ALU64)
+                    idx += 1
+                    continue
+                if cls == isa.BPF_LDX:
+                    size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+                    addr = to_u64(regs[insn.src] + insn.off)
+                    raw = mem.read(addr, size, source=self.prog_tag)
+                    regs[insn.dst] = int.from_bytes(raw, "little")
+                    idx += 1
+                    continue
+                if cls in (isa.BPF_STX, isa.BPF_ST):
+                    size = isa.SIZE_BYTES[insn.opcode & isa.SIZE_MASK]
+                    addr = to_u64(regs[insn.dst] + insn.off)
+                    if cls == isa.BPF_STX and \
+                            (insn.opcode & isa.MODE_MASK) == \
+                            isa.BPF_ATOMIC:
+                        # XADD: atomic read-modify-write
+                        width_mask = (1 << (size * 8)) - 1
+                        raw = mem.read(addr, size,
+                                       source=self.prog_tag)
+                        current = int.from_bytes(raw, "little")
+                        updated = (current + regs[insn.src]) \
+                            & width_mask
+                        mem.write(addr,
+                                  updated.to_bytes(size, "little"),
+                                  source=self.prog_tag)
+                        idx += 1
+                        continue
+                    value = regs[insn.src] if cls == isa.BPF_STX \
+                        else to_u64(insn.imm)
+                    mem.write(addr,
+                              (value & ((1 << (size * 8)) - 1)).to_bytes(
+                                  size, "little"),
+                              source=self.prog_tag)
+                    idx += 1
+                    continue
+                if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+                    op = insn.opcode & isa.JMP_OP_MASK
+                    if op == isa.BPF_EXIT:
+                        return regs[0]
+                    if op == isa.BPF_JA:
+                        idx = idx + insn.off + 1
+                        continue
+                    if op == isa.BPF_CALL:
+                        if insn.src == isa.BPF_PSEUDO_CALL:
+                            target = idx + insn.imm + 1
+                            regs[0] = self._run_frame(
+                                target, regs, None, depth + 1)
+                        else:
+                            regs[0] = self._call_helper(insn.imm, regs)
+                        idx += 1
+                        continue
+                    if self._jump_taken(op, insn, regs):
+                        idx = idx + insn.off + 1
+                    else:
+                        idx += 1
+                    continue
+                raise BpfRuntimeError(
+                    f"unsupported opcode {insn.opcode:#04x} at {idx}")
+        finally:
+            if not stack.freed:
+                mem.kfree(stack)
+
+    # -- instruction semantics -----------------------------------------------------
+
+    def _ld_imm64_value(self, insn: Insn, insns: List[Insn],
+                        idx: int) -> int:
+        if insn.src == isa.BPF_PSEUDO_MAP_FD:
+            return MAP_PTR_BASE + insn.imm
+        if insn.src == isa.BPF_PSEUDO_FUNC:
+            return FUNC_PTR_BASE + (idx + insn.imm + 1)
+        hi = insns[idx + 1].imm & 0xFFFFFFFF
+        return (hi << 32) | (insn.imm & 0xFFFFFFFF)
+
+    def _alu(self, regs: List[int], insn: Insn, is64: bool) -> None:
+        op = insn.opcode & isa.ALU_OP_MASK
+        if insn.opcode & isa.BPF_X:
+            src = regs[insn.src]
+        else:
+            src = to_u64(insn.imm)  # sign-extended to 64 bits
+        dst = regs[insn.dst]
+        if not is64:
+            dst &= U32
+            src &= U32
+        width_mask = U64 if is64 else U32
+
+        if op == isa.BPF_MOV:
+            result = src
+        elif op == isa.BPF_ADD:
+            result = dst + src
+        elif op == isa.BPF_SUB:
+            result = dst - src
+        elif op == isa.BPF_MUL:
+            result = dst * src
+        elif op == isa.BPF_DIV:
+            result = dst // src if src else 0
+        elif op == isa.BPF_MOD:
+            result = dst % src if src else dst
+        elif op == isa.BPF_OR:
+            result = dst | src
+        elif op == isa.BPF_AND:
+            result = dst & src
+        elif op == isa.BPF_XOR:
+            result = dst ^ src
+        elif op == isa.BPF_LSH:
+            result = dst << (src & (63 if is64 else 31))
+        elif op == isa.BPF_RSH:
+            result = dst >> (src & (63 if is64 else 31))
+        elif op == isa.BPF_ARSH:
+            bits = 64 if is64 else 32
+            shift = src & (bits - 1)
+            signed = to_s64(dst) if is64 else \
+                (dst - (1 << 32) if dst & (1 << 31) else dst)
+            result = signed >> shift
+        elif op == isa.BPF_NEG:
+            result = -dst
+        else:
+            raise BpfRuntimeError(f"unsupported ALU op {op:#x}")
+        regs[insn.dst] = result & width_mask
+
+    def _jump_taken(self, op: int, insn: Insn, regs: List[int]) -> bool:
+        dst = regs[insn.dst]
+        src = regs[insn.src] if insn.opcode & isa.BPF_X \
+            else to_u64(insn.imm)
+        if insn.insn_class == isa.BPF_JMP32:
+            dst &= U32
+            src &= U32
+            sdst = dst - (1 << 32) if dst & (1 << 31) else dst
+            ssrc = src - (1 << 32) if src & (1 << 31) else src
+        else:
+            sdst, ssrc = to_s64(dst), to_s64(src)
+        table = {
+            isa.BPF_JEQ: dst == src,
+            isa.BPF_JNE: dst != src,
+            isa.BPF_JGT: dst > src,
+            isa.BPF_JGE: dst >= src,
+            isa.BPF_JLT: dst < src,
+            isa.BPF_JLE: dst <= src,
+            isa.BPF_JSET: bool(dst & src),
+            isa.BPF_JSGT: sdst > ssrc,
+            isa.BPF_JSGE: sdst >= ssrc,
+            isa.BPF_JSLT: sdst < ssrc,
+            isa.BPF_JSLE: sdst <= ssrc,
+        }
+        if op not in table:
+            raise BpfRuntimeError(f"unsupported jump op {op:#x}")
+        return table[op]
+
+    # -- helper plumbing -------------------------------------------------------------
+
+    def _call_helper(self, helper_id: int, regs: List[int]) -> int:
+        spec = self.subsystem.registry.get(helper_id)
+        if spec is None or spec.impl is None:
+            raise BpfRuntimeError(f"call to unknown helper {helper_id}")
+        self.helper_calls += 1
+        # a helper call is far more work than one bytecode insn
+        self.kernel.work(20 + spec.callgraph_size // 50)
+        ctx = HelperCallContext(self.kernel, self, regs[1:6],
+                                self._current_prog)
+        return to_u64(spec.impl(ctx))
+
+    def resolve_map_ptr(self, value: int):
+        """Map register value -> BpfMap (None if not a map pointer)."""
+        if value < MAP_PTR_BASE or value > MAP_PTR_BASE + (1 << 20):
+            return None
+        return self.subsystem.map_by_fd(value - MAP_PTR_BASE)
+
+    def find_map_by_value_addr(self, addr: int):
+        """The map whose storage contains ``addr``, if any."""
+        alloc = self.kernel.mem.find_allocation(addr)
+        if alloc is None:
+            return None
+        for bpf_map in self.subsystem.all_maps():
+            storage = getattr(bpf_map, "storage", None)
+            if storage is not None and storage is alloc:
+                return bpf_map
+            per_cpu = getattr(bpf_map, "per_cpu_storage", None)
+            if per_cpu is not None and alloc in per_cpu:
+                return bpf_map
+            entries = getattr(bpf_map, "_entries", None)
+            if entries is not None and alloc in entries.values():
+                return bpf_map
+        return None
+
+    def resolve_func_ptr(self, value: int) -> Optional[int]:
+        """Callback register value -> instruction index."""
+        if value < FUNC_PTR_BASE:
+            return None
+        target = value - FUNC_PTR_BASE
+        if target >= len(self._insns):
+            return None
+        return target
+
+    def request_tail_call(self, prog: object) -> None:
+        """Unwind the current program and restart in ``prog``."""
+        raise TailCallRequest(prog)
+
+    def next_prandom(self) -> int:
+        """Deterministic xorshift PRNG for bpf_get_prandom_u32."""
+        x = self._prandom_state
+        x ^= (x << 13) & U32
+        x ^= x >> 17
+        x ^= (x << 5) & U32
+        self._prandom_state = x & U32
+        return self._prandom_state
+
+    def find_request_sock_for(self, sock: object):
+        """The pending request sock linked to a listener, if any."""
+        return getattr(sock, "pending_reqsk", None)
+
+    # -- bpf_loop with fast-forward ----------------------------------------------------
+
+    def execute_loop(self, callback_idx: int, nr_loops: int,
+                     cb_ctx: int) -> int:
+        """Run ``nr_loops`` callback iterations; after a sampled
+        prefix, charge the remaining iterations' virtual time in bulk
+        (see module docstring)."""
+        if nr_loops == 0:
+            return 0
+        clock = self.kernel.clock
+        start_ns = clock.now_ns
+        start_insns = self.insns_executed
+        executed = 0
+        for index in range(min(nr_loops, self.loop_sample_limit)):
+            ret = self._run_frame(callback_idx, [0, index, cb_ctx,
+                                                 0, 0, 0], None, depth=1)
+            executed += 1
+            if ret == 1:
+                return executed
+        remaining = nr_loops - executed
+        if remaining > 0:
+            per_iter_ns = max(
+                (clock.now_ns - start_ns) // max(executed, 1), 1)
+            per_iter_insns = max(
+                (self.insns_executed - start_insns) // max(executed, 1),
+                1)
+            clock.advance(remaining * per_iter_ns)
+            self.insns_executed += remaining * per_iter_insns
+        return nr_loops

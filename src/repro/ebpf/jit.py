@@ -1,0 +1,64 @@
+"""The JIT compiler model.
+
+The real JIT translates verified bytecode to native code — and is a
+*second* trusted component that can betray the verifier's proof: the
+paper cites CVE-2021-29154 [1], where miscompiled branch offsets let a
+verified program hijack kernel control flow, and [38], formal
+verification of JITs, as evidence.
+
+Our JIT "lowers" bytecode to an equivalent instruction list (the VM
+executes both identically).  With the ``jit_branch_miscompile`` bug
+enabled, a conditional branch *immediately following a BPF_DIV
+instruction* gets its offset off by one — the shape of the
+CVE-2021-29154 pattern, where the branch displacement was computed
+against mis-sized division stubs.  The landing pad is attacker-chosen,
+so a program can place a bounds check at the verified target and have
+execution skip straight past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.ebpf import isa
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.isa import Insn
+
+
+@dataclass
+class JitResult:
+    """Outcome of one JIT translation."""
+
+    insns: List[Insn]
+    #: indices whose branch offsets were corrupted by the modeled bug
+    miscompiled: List[int] = field(default_factory=list)
+
+
+def jit_compile(insns: Sequence[Insn],
+                bugs: BugConfig = None) -> JitResult:
+    """Lower a verified program to its executable form."""
+    bugs = bugs or BugConfig()
+    out: List[Insn] = []
+    miscompiled: List[int] = []
+    prev_was_div = False
+    for index, insn in enumerate(insns):
+        emitted = insn
+        is_cond_jump = (
+            insn.insn_class == isa.BPF_JMP
+            and (insn.opcode & isa.JMP_OP_MASK) not in
+            (isa.BPF_JA, isa.BPF_CALL, isa.BPF_EXIT)
+        )
+        if bugs.jit_branch_miscompile and prev_was_div \
+                and is_cond_jump and insn.off > 0:
+            # CVE-2021-29154 shape: displacement computed one insn long
+            emitted = Insn(insn.opcode, insn.dst, insn.src,
+                           insn.off + 1, insn.imm)
+            miscompiled.append(index)
+        prev_was_div = (
+            insn.is_alu
+            and (insn.opcode & isa.ALU_OP_MASK) in
+            (isa.BPF_DIV, isa.BPF_MOD)
+        )
+        out.append(emitted)
+    return JitResult(insns=out, miscompiled=miscompiled)

@@ -1,0 +1,214 @@
+"""The eBPF subsystem front end: maps, program loading, execution.
+
+``BpfSubsystem`` is the ``bpf(2)`` surface of the simulated kernel:
+create maps, load programs (which runs the in-kernel verifier and then
+the JIT — Figure 1's loading pipeline), and run loaded programs on
+contexts.  A :class:`VerifierInternalFault` during verification is
+converted into a kernel oops attributed to the verifier, modeling the
+[54] class of bugs where the verifier itself is the vulnerable
+component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.helpers.registry import HelperRegistry, \
+    build_default_registry
+from repro.ebpf.interpreter import BpfVm
+from repro.ebpf.isa import Insn
+from repro.ebpf.jit import JitResult, jit_compile
+from repro.ebpf.maps import (
+    ArrayMap,
+    BpfMap,
+    HashMap,
+    PercpuArrayMap,
+    PerfEventArrayMap,
+    ProgArrayMap,
+    RingBufMap,
+    TaskStorageMap,
+)
+from repro.ebpf.progs import ProgType
+from repro.ebpf.verifier.analyzer import (
+    Verifier,
+    VerifierConfig,
+    VerifierInternalFault,
+    VerifierStats,
+)
+from repro.ebpf.verifier.limits import VerifierLimits
+from repro.errors import BpfRuntimeError, KernelOops, VerifierError
+from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class LoadedProgram:
+    """A verified, JIT-compiled program ready to run."""
+
+    prog_id: int
+    name: str
+    prog_type: ProgType
+    insns: List[Insn]
+    verifier_stats: VerifierStats
+    jit: Optional[JitResult] = None
+
+    def runnable_insns(self) -> List[Insn]:
+        """What the CPU actually executes: JIT output when present."""
+        return self.jit.insns if self.jit is not None else self.insns
+
+
+class BpfSubsystem:
+    """One kernel's eBPF subsystem."""
+
+    def __init__(self, kernel: Kernel,
+                 registry: Optional[HelperRegistry] = None,
+                 bugs: Optional[BugConfig] = None,
+                 limits: Optional[VerifierLimits] = None,
+                 use_jit: bool = True) -> None:
+        self.kernel = kernel
+        self.registry = registry or build_default_registry()
+        self.bugs = bugs or BugConfig()
+        self.limits = limits or VerifierLimits()
+        self.use_jit = use_jit
+        self._maps: Dict[int, BpfMap] = {}
+        self._progs: Dict[int, LoadedProgram] = {}
+        self._next_fd = 3
+        self._next_prog_id = 1
+        self.vm = BpfVm(kernel, self, self.bugs)
+        #: the [22] sysctl: the kernel community's response to
+        #: verifier distrust was to disallow unprivileged loading
+        #: entirely — on by default since 2021
+        self.unprivileged_bpf_disabled = True
+
+    # -- maps -----------------------------------------------------------------
+
+    def create_map(self, map_type: str, *, key_size: int = 4,
+                   value_size: int = 8, max_entries: int = 16,
+                   with_spin_lock: bool = False) -> BpfMap:
+        """Create a map of the given type and return it (fd assigned)."""
+        map_fd = self._next_fd
+        self._next_fd += 1
+        if map_type == "array":
+            bpf_map: BpfMap = ArrayMap(self.kernel, map_fd, key_size,
+                                       value_size, max_entries,
+                                       bugs=self.bugs)
+        elif map_type == "percpu_array":
+            bpf_map = PercpuArrayMap(self.kernel, map_fd, key_size,
+                                     value_size, max_entries)
+        elif map_type == "hash":
+            bpf_map = HashMap(self.kernel, map_fd, key_size, value_size,
+                              max_entries)
+        elif map_type == "ringbuf":
+            bpf_map = RingBufMap(self.kernel, map_fd, max_entries)
+        elif map_type == "perf_event_array":
+            bpf_map = PerfEventArrayMap(self.kernel, map_fd,
+                                        max_entries)
+        elif map_type == "task_storage":
+            bpf_map = TaskStorageMap(self.kernel, map_fd, value_size)
+        elif map_type == "prog_array":
+            bpf_map = ProgArrayMap(self.kernel, map_fd, max_entries)
+        else:
+            raise BpfRuntimeError(f"unknown map type {map_type!r}")
+        if with_spin_lock:
+            bpf_map.add_spin_lock()
+        self._maps[map_fd] = bpf_map
+        return bpf_map
+
+    def map_by_fd(self, map_fd: int) -> Optional[BpfMap]:
+        """Resolve a map fd."""
+        return self._maps.get(map_fd)
+
+    def all_maps(self) -> List[BpfMap]:
+        """Every live map."""
+        return list(self._maps.values())
+
+    # -- program loading (Figure 1: verifier -> JIT) ----------------------------
+
+    def load_program(self, insns: Sequence[Insn], prog_type: ProgType,
+                     name: str = "prog", *,
+                     allow_ptr_leaks: bool = False,
+                     prune_states: bool = True,
+                     limits: Optional[VerifierLimits] = None,
+                     log_level: int = 1,
+                     unprivileged: bool = False) -> LoadedProgram:
+        """Verify and JIT a program.  Raises
+        :class:`~repro.errors.VerifierError` on rejection and
+        :class:`~repro.errors.KernelOops` if the verifier itself
+        crashes (the [54] bug class).
+
+        ``unprivileged=True`` models a non-root loader: refused
+        outright while ``unprivileged_bpf_disabled`` is set (the [22]
+        default), and otherwise verified under the tighter caps with
+        pointer leaks always forbidden."""
+        if unprivileged:
+            if self.unprivileged_bpf_disabled:
+                raise VerifierError(
+                    "unprivileged BPF is disabled "
+                    "(kernel.unprivileged_bpf_disabled=1, see [22])")
+            allow_ptr_leaks = False
+            limits = limits or VerifierLimits.unprivileged()
+        config = VerifierConfig(
+            limits=limits or self.limits,
+            bugs=self.bugs,
+            allow_ptr_leaks=allow_ptr_leaks,
+            prune_states=prune_states,
+            log_level=log_level,
+        )
+        verifier = Verifier(insns, prog_type, self.registry,
+                            self._maps, config)
+        try:
+            stats = verifier.verify()
+        except VerifierInternalFault as fault:
+            self.kernel.log.record_oops(
+                self.kernel.clock.now_ns, str(fault),
+                category="use-after-free", source="verifier")
+            raise KernelOops(str(fault), source="verifier") from fault
+        jit = jit_compile(insns, self.bugs) if self.use_jit else None
+        prog = LoadedProgram(
+            prog_id=self._next_prog_id, name=name, prog_type=prog_type,
+            insns=list(insns), verifier_stats=stats, jit=jit)
+        self._next_prog_id += 1
+        self._progs[prog.prog_id] = prog
+        self.kernel.log.log(
+            self.kernel.clock.now_ns,
+            f"bpf: loaded prog {prog.prog_id} ({name}) "
+            f"type={prog_type.value} insns={len(prog.insns)} "
+            f"verified in {stats.insns_processed} steps")
+        return prog
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, prog: LoadedProgram, ctx_addr: int) -> int:
+        """Run a program on a raw context address."""
+        return self.vm.run(prog, ctx_addr)
+
+    def run_on_packet(self, prog: LoadedProgram,
+                      payload: bytes) -> int:
+        """Build an skb for ``payload`` and run (XDP/socket filter)."""
+        skb = self.kernel.create_skb(payload)
+        return self.vm.run(prog, skb.address)
+
+    def run_on_current_task(self, prog: LoadedProgram) -> int:
+        """Run a tracing program against a pt_regs-like context."""
+        regs = self.kernel.mem.kmalloc(64, type_name="pt_regs",
+                                       owner="trace")
+        return self.vm.run(prog, regs.base)
+
+    # -- attachment points --------------------------------------------------------
+
+    def attach_xdp(self, prog: LoadedProgram,
+                   priority: int = 0) -> None:
+        """Attach a program to the kernel's XDP hook chain."""
+        self.kernel.hooks.attach(
+            "xdp", f"bpf:{prog.name}",
+            lambda skb: self.vm.run(prog, skb.address),
+            priority=priority)
+
+    def attach_trace(self, prog: LoadedProgram,
+                     priority: int = 0) -> None:
+        """Attach a program to the tracing hook."""
+        self.kernel.hooks.attach(
+            "trace", f"bpf:{prog.name}",
+            lambda __: self.run_on_current_task(prog),
+            priority=priority)

@@ -1,0 +1,396 @@
+"""eBPF maps: the data plane shared between extensions and userspace.
+
+Maps are backed by real allocations in the simulated kernel address
+space, so a map-value pointer returned by ``bpf_map_lookup_elem`` is a
+genuine kernel address that bytecode can (mis)use — which is what makes
+the array-map 32-bit-overflow bug [36] and the §2.2 attacks executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import BpfRuntimeError
+from repro.ebpf.bugs import BugConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.locks import SpinLock
+
+BPF_MAP_TYPE_ARRAY = "array"
+BPF_MAP_TYPE_PERCPU_ARRAY = "percpu_array"
+BPF_MAP_TYPE_HASH = "hash"
+BPF_MAP_TYPE_RINGBUF = "ringbuf"
+BPF_MAP_TYPE_TASK_STORAGE = "task_storage"
+BPF_MAP_TYPE_PROG_ARRAY = "prog_array"
+
+
+class BpfMap:
+    """Base class for all map types."""
+
+    map_type = "abstract"
+
+    def __init__(self, kernel: Kernel, map_fd: int, key_size: int,
+                 value_size: int, max_entries: int) -> None:
+        if key_size < 0 or value_size <= 0 or max_entries <= 0:
+            raise BpfRuntimeError(
+                f"invalid map geometry: key={key_size} value={value_size} "
+                f"entries={max_entries}")
+        self.kernel = kernel
+        self.map_fd = map_fd
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+        #: optional embedded bpf_spin_lock (verifier tracks its use)
+        self.spin_lock: Optional[SpinLock] = None
+
+    def add_spin_lock(self) -> None:
+        """Embed a ``bpf_spin_lock`` in the map values."""
+        self.spin_lock = self.kernel.locks.create(
+            f"map{self.map_fd}.lock")
+
+    # interface used by helpers; addresses are kernel virtual addresses
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """Address of the value for ``key``, or None."""
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """Insert/overwrite; returns 0 or negative errno."""
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> int:
+        """Remove; returns 0 or negative errno."""
+        raise NotImplementedError
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise BpfRuntimeError(
+                f"map{self.map_fd}: key size {len(key)} != {self.key_size}")
+
+
+class ArrayMap(BpfMap):
+    """Preallocated array map with u32 keys.
+
+    The element-offset computation honours the
+    ``array_map_32bit_overflow`` bug [36]: with the bug present the
+    offset is computed modulo 2**32, so a huge ``index * value_size``
+    product wraps and the returned pointer can fall outside the array.
+    """
+
+    map_type = BPF_MAP_TYPE_ARRAY
+
+    def __init__(self, kernel: Kernel, map_fd: int, key_size: int,
+                 value_size: int, max_entries: int,
+                 bugs: Optional[BugConfig] = None) -> None:
+        super().__init__(kernel, map_fd, key_size, value_size, max_entries)
+        if key_size != 4:
+            raise BpfRuntimeError("array map requires 4-byte keys")
+        self._bugs = bugs or BugConfig()
+        self.storage = kernel.mem.kmalloc(
+            value_size * max_entries,
+            type_name=f"array_map{map_fd}", owner="bpf-map")
+
+    def _index_of(self, key: bytes) -> int:
+        self._check_key(key)
+        return int.from_bytes(key, "little")
+
+    def element_offset(self, index: int) -> int:
+        """Byte offset of element ``index`` — the buggy computation."""
+        offset = index * self.value_size
+        if self._bugs.array_map_32bit_overflow:
+            # the [36] bug: 32-bit multiply on a 64-bit quantity
+            offset &= 0xFFFFFFFF
+        return offset
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        index = self._index_of(key)
+        if index >= self.max_entries:
+            return None
+        return self.storage.base + self.element_offset(index)
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        index = self._index_of(key)
+        if index >= self.max_entries:
+            return -7  # -E2BIG
+        if len(value) != self.value_size:
+            return -22  # -EINVAL
+        self.kernel.mem.write(
+            self.storage.base + index * self.value_size, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        return -22  # array elements cannot be deleted (-EINVAL)
+
+    def read_value(self, index: int) -> bytes:
+        """Userspace-style read of one element."""
+        if not 0 <= index < self.max_entries:
+            raise BpfRuntimeError(f"index {index} out of range")
+        return self.kernel.mem.read(
+            self.storage.base + index * self.value_size, self.value_size)
+
+
+class PercpuArrayMap(BpfMap):
+    """Per-CPU array: each CPU sees its own value slice, so updates
+    need no synchronization — the idiom hot counters use."""
+
+    map_type = BPF_MAP_TYPE_PERCPU_ARRAY
+
+    def __init__(self, kernel: Kernel, map_fd: int, key_size: int,
+                 value_size: int, max_entries: int) -> None:
+        super().__init__(kernel, map_fd, key_size, value_size,
+                         max_entries)
+        if key_size != 4:
+            raise BpfRuntimeError("percpu array requires 4-byte keys")
+        self.per_cpu_storage = [
+            kernel.mem.kmalloc(value_size * max_entries,
+                               type_name=f"percpu_array{map_fd}",
+                               owner=f"bpf-map:cpu{cpu.cpu_id}")
+            for cpu in kernel.cpus
+        ]
+
+    def _index_of(self, key: bytes) -> int:
+        self._check_key(key)
+        return int.from_bytes(key, "little")
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        index = self._index_of(key)
+        if index >= self.max_entries:
+            return None
+        storage = self.per_cpu_storage[self.kernel.current_cpu.cpu_id]
+        return storage.base + index * self.value_size
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        index = self._index_of(key)
+        if index >= self.max_entries:
+            return -7
+        if len(value) != self.value_size:
+            return -22
+        addr = self.lookup_addr(key)
+        assert addr is not None
+        self.kernel.mem.write(addr, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        return -22
+
+    def read_values(self, index: int) -> List[bytes]:
+        """Userspace view: this element's value on every CPU."""
+        if not 0 <= index < self.max_entries:
+            raise BpfRuntimeError(f"index {index} out of range")
+        return [
+            self.kernel.mem.read(storage.base + index * self.value_size,
+                                 self.value_size)
+            for storage in self.per_cpu_storage
+        ]
+
+    def sum_u64(self, index: int) -> int:
+        """Userspace aggregation across CPUs (8-byte values)."""
+        return sum(int.from_bytes(raw[:8], "little")
+                   for raw in self.read_values(index))
+
+
+class HashMap(BpfMap):
+    """Hash map: dynamically allocated values."""
+
+    map_type = BPF_MAP_TYPE_HASH
+
+    def __init__(self, kernel: Kernel, map_fd: int, key_size: int,
+                 value_size: int, max_entries: int) -> None:
+        super().__init__(kernel, map_fd, key_size, value_size, max_entries)
+        self._entries: Dict[bytes, "Allocation"] = {}
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        self._check_key(key)
+        alloc = self._entries.get(key)
+        return alloc.base if alloc is not None else None
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        self._check_key(key)
+        if len(value) != self.value_size:
+            return -22
+        alloc = self._entries.get(key)
+        if alloc is None:
+            if len(self._entries) >= self.max_entries:
+                return -7  # -E2BIG
+            alloc = self.kernel.mem.kmalloc(
+                self.value_size, type_name=f"hash_map{self.map_fd}_val",
+                owner="bpf-map")
+            self._entries[key] = alloc
+        self.kernel.mem.write(alloc.base, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        self._check_key(key)
+        alloc = self._entries.pop(key, None)
+        if alloc is None:
+            return -2  # -ENOENT
+        self.kernel.mem.kfree(alloc)
+        return 0
+
+    def read_value(self, key: bytes) -> Optional[bytes]:
+        """Userspace-style read."""
+        addr = self.lookup_addr(key)
+        if addr is None:
+            return None
+        return self.kernel.mem.read(addr, self.value_size)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RingBufMap(BpfMap):
+    """Ring buffer for extension -> userspace streaming."""
+
+    map_type = BPF_MAP_TYPE_RINGBUF
+
+    def __init__(self, kernel: Kernel, map_fd: int,
+                 max_entries: int) -> None:
+        # ringbuf has no keys; value_size is a placeholder
+        super().__init__(kernel, map_fd, 0, 8, max_entries)
+        self.capacity_bytes = max_entries
+        self._used = 0
+        self._records: List[bytes] = []
+        self._reserved: Dict[int, "Allocation"] = {}
+
+    def output(self, data: bytes) -> int:
+        """Copy a record in; returns 0 or -ENOSPC."""
+        if self._used + len(data) > self.capacity_bytes:
+            return -28  # -ENOSPC
+        self._records.append(data)
+        self._used += len(data)
+        return 0
+
+    def reserve(self, size: int) -> Optional[int]:
+        """Reserve a record, returning its kernel address."""
+        if size <= 0 or self._used + size > self.capacity_bytes:
+            return None
+        alloc = self.kernel.mem.kmalloc(
+            size, type_name=f"ringbuf{self.map_fd}_rec", owner="bpf-map")
+        self._reserved[alloc.base] = alloc
+        self._used += size
+        return alloc.base
+
+    def submit(self, addr: int) -> int:
+        """Commit a reserved record."""
+        alloc = self._reserved.pop(addr, None)
+        if alloc is None:
+            return -22
+        self._records.append(
+            self.kernel.mem.read(alloc.base, alloc.size))
+        return 0
+
+    def drain(self) -> List[bytes]:
+        """Userspace consumes all records."""
+        records, self._records = self._records, []
+        self._used = sum(len(r) for r in self._reserved.values())
+        return records
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        return None
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        return -22
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        return -22
+
+
+class PerfEventArrayMap(RingBufMap):
+    """Perf-event buffer for ``bpf_perf_event_output`` — modeled with
+    the same record stream as the ring buffer."""
+
+    map_type = "perf_event_array"
+
+
+class TaskStorageMap(BpfMap):
+    """Per-task local storage (``BPF_MAP_TYPE_TASK_STORAGE``)."""
+
+    map_type = BPF_MAP_TYPE_TASK_STORAGE
+
+    def __init__(self, kernel: Kernel, map_fd: int,
+                 value_size: int) -> None:
+        super().__init__(kernel, map_fd, 8, value_size, 4096)
+        self._by_task_addr: Dict[int, "Allocation"] = {}
+
+    def storage_for(self, task_addr: int, create: bool) -> Optional[int]:
+        """Address of this task's storage; optionally create it."""
+        alloc = self._by_task_addr.get(task_addr)
+        if alloc is None and create:
+            alloc = self.kernel.mem.kmalloc(
+                self.value_size,
+                type_name=f"task_storage{self.map_fd}", owner="bpf-map")
+            self._by_task_addr[task_addr] = alloc
+        return alloc.base if alloc is not None else None
+
+    def delete_for(self, task_addr: int) -> int:
+        """Drop this task's storage."""
+        alloc = self._by_task_addr.pop(task_addr, None)
+        if alloc is None:
+            return -2
+        self.kernel.mem.kfree(alloc)
+        return 0
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        self._check_key(key)
+        return self.storage_for(int.from_bytes(key, "little"), False)
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        self._check_key(key)
+        if len(value) != self.value_size:
+            return -22
+        addr = self.storage_for(int.from_bytes(key, "little"), True)
+        assert addr is not None
+        self.kernel.mem.write(addr, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        self._check_key(key)
+        return self.delete_for(int.from_bytes(key, "little"))
+
+
+class ProgArrayMap(BpfMap):
+    """Program array for ``bpf_tail_call`` [44]."""
+
+    map_type = BPF_MAP_TYPE_PROG_ARRAY
+
+    def __init__(self, kernel: Kernel, map_fd: int,
+                 max_entries: int) -> None:
+        super().__init__(kernel, map_fd, 4, 4, max_entries)
+        self._progs: Dict[int, object] = {}  # index -> LoadedProgram
+
+    def set_prog(self, index: int, prog: object) -> None:
+        """Install a program at ``index``."""
+        if not 0 <= index < self.max_entries:
+            raise BpfRuntimeError(f"prog array index {index} out of range")
+        self._progs[index] = prog
+
+    def get_prog(self, index: int) -> Optional[object]:
+        """The program at ``index``, if any."""
+        return self._progs.get(index)
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        return None
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        return -22
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        self._check_key(key)
+        index = int.from_bytes(key, "little")
+        return 0 if self._progs.pop(index, None) is not None else -2

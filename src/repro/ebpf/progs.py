@@ -1,0 +1,109 @@
+"""Program types and their context layouts.
+
+Each eBPF program type attaches to a different hook and receives a
+different context object.  The verifier needs the layout (which
+offsets are readable/writable, which fields carry packet pointers);
+the interpreter needs the concrete object behind the context pointer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class CtxFieldKind(enum.Enum):
+    """What loading a context field yields in the verifier."""
+
+    SCALAR = "scalar"
+    PACKET = "packet"          # PTR_TO_PACKET
+    PACKET_END = "packet_end"  # PTR_TO_PACKET_END
+
+
+@dataclass(frozen=True)
+class CtxField:
+    """One field of a context layout."""
+
+    name: str
+    offset: int
+    size: int
+    kind: CtxFieldKind = CtxFieldKind.SCALAR
+    writable: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the field's last byte."""
+        return self.offset + self.size
+
+
+class ProgType(enum.Enum):
+    """Supported program types."""
+
+    SOCKET_FILTER = "socket_filter"
+    XDP = "xdp"
+    KPROBE = "kprobe"
+    TRACEPOINT = "tracepoint"
+    CGROUP_SKB = "cgroup_skb"
+    PERF_EVENT = "perf_event"
+
+
+# layouts match repro.kernel.objects.SkBuff so the interpreter can hand
+# the object's real kernel address to the program as its context
+_SKB_FIELDS = (
+    CtxField("len", 0, 4),
+    CtxField("protocol", 4, 4),
+    CtxField("data", 8, 8, CtxFieldKind.PACKET),
+    CtxField("data_end", 16, 8, CtxFieldKind.PACKET_END),
+    CtxField("mark", 24, 4, writable=True),
+)
+
+# xdp_md model: same shape as skb for the simulation (data/data_end)
+_XDP_FIELDS = _SKB_FIELDS
+
+# pt_regs model: eight 8-byte registers, read-only scalars
+_PT_REGS_FIELDS = tuple(
+    CtxField(f"reg{i}", i * 8, 8) for i in range(8)
+)
+
+
+@dataclass(frozen=True)
+class ProgTypeInfo:
+    """Verifier-facing description of a program type."""
+
+    prog_type: ProgType
+    ctx_fields: Tuple[CtxField, ...]
+    ctx_size: int
+    #: inclusive allowed range for the program's return value, or None
+    ret_range: Optional[Tuple[int, int]]
+
+    def field_at(self, offset: int, size: int) -> Optional[CtxField]:
+        """The field fully containing [offset, offset+size), if any."""
+        for fld in self.ctx_fields:
+            if fld.offset <= offset and offset + size <= fld.end:
+                return fld
+        return None
+
+
+PROG_TYPE_INFO: Dict[ProgType, ProgTypeInfo] = {
+    ProgType.SOCKET_FILTER: ProgTypeInfo(
+        ProgType.SOCKET_FILTER, _SKB_FIELDS, 32, ret_range=(0, 0xFFFF)),
+    ProgType.XDP: ProgTypeInfo(
+        ProgType.XDP, _XDP_FIELDS, 32, ret_range=(0, 4)),
+    ProgType.KPROBE: ProgTypeInfo(
+        ProgType.KPROBE, _PT_REGS_FIELDS, 64, ret_range=None),
+    ProgType.TRACEPOINT: ProgTypeInfo(
+        ProgType.TRACEPOINT, _PT_REGS_FIELDS, 64, ret_range=None),
+    # cgroup skb programs return a binary allow/deny verdict
+    ProgType.CGROUP_SKB: ProgTypeInfo(
+        ProgType.CGROUP_SKB, _SKB_FIELDS, 32, ret_range=(0, 1)),
+    ProgType.PERF_EVENT: ProgTypeInfo(
+        ProgType.PERF_EVENT, _PT_REGS_FIELDS, 64, ret_range=None),
+}
+
+# XDP verdicts
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4

@@ -1,0 +1,20 @@
+"""The in-kernel eBPF verifier model.
+
+A path-sensitive symbolic executor with the architecture of the real
+``kernel/bpf/verifier.c``: tristate numbers (:mod:`tnum`), signed and
+unsigned 64-bit range tracking, a pointer-type lattice, per-frame
+register and stack state (:mod:`regstate`), BPF-to-BPF call frames,
+reference and spin-lock discipline, explored-state pruning
+(:mod:`states`) and hard complexity limits (:mod:`limits`).
+
+The analyzer also reproduces, behind :class:`repro.ebpf.bugs.BugConfig`
+flags, the *verifier bugs* of the paper's Table 1: unchecked pointer
+arithmetic, pointer leaks, and a use-after-free in the verifier's own
+loop-handling code.
+"""
+
+from repro.ebpf.verifier.analyzer import Verifier, VerifierConfig
+from repro.ebpf.verifier.tnum import Tnum
+from repro.ebpf.verifier.regstate import RegState, RegType
+
+__all__ = ["Verifier", "VerifierConfig", "Tnum", "RegState", "RegType"]

@@ -1,0 +1,43 @@
+"""Verifier complexity limits.
+
+The paper (§2.1) observes that "the verifier needs to evaluate all
+possible execution paths, [so] it has to limit the eBPF program size
+and complexity to complete the verification in time".  These are those
+limits, with the Linux values as defaults.  Experiments shrink them to
+study rejection behaviour near the caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class VerifierLimits:
+    """Hard caps enforced during verification."""
+
+    #: maximum program length in instructions (unprivileged cap; the
+    #: classic BPF_MAXINSNS)
+    max_insns: int = 4096
+
+    #: total instructions the symbolic executor may *process* across
+    #: all paths (BPF_COMPLEXITY_LIMIT_INSNS)
+    complexity_limit: int = 1_000_000
+
+    #: maximum BPF-to-BPF call depth (MAX_CALL_FRAMES)
+    max_call_frames: int = 8
+
+    #: per-program stack bytes (MAX_BPF_STACK)
+    stack_size: int = 512
+
+    #: maximum pending branch states (BPF_COMPLEXITY_LIMIT_JMP_SEQ)
+    max_pending_branches: int = 8192
+
+    #: maximum tail-call chain at run time (MAX_TAIL_CALL_CNT)
+    max_tail_calls: int = 33
+
+    @classmethod
+    def unprivileged(cls) -> "VerifierLimits":
+        """The tighter caps applied to unprivileged loaders."""
+        return cls(max_insns=4096, complexity_limit=131_072,
+                   max_call_frames=8, stack_size=512)

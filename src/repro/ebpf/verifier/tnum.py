@@ -1,0 +1,209 @@
+"""Tristate numbers: the verifier's bit-level abstract domain.
+
+A tnum ``(value, mask)`` represents the set of 64-bit integers that
+agree with ``value`` on every bit where ``mask`` is 0; bits where
+``mask`` is 1 are unknown.  This is the abstraction the Linux verifier
+uses for tracking partial knowledge of register contents
+(``kernel/bpf/tnum.c``), proven sound and optimal for add/sub/mul by
+Vishwanathan et al. [50].
+
+The arithmetic below is a line-for-line port of the kernel's
+implementation, with Python integers wrapped to 64 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+U64 = (1 << 64) - 1
+
+
+def _wrap(x: int) -> int:
+    return x & U64
+
+
+@dataclass(frozen=True)
+class Tnum:
+    """A tristate number.  Immutable; operations return new tnums."""
+
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if self.value & self.mask:
+            raise ValueError(
+                f"tnum invariant violated: value {self.value:#x} and "
+                f"mask {self.mask:#x} overlap")
+        if not (0 <= self.value <= U64 and 0 <= self.mask <= U64):
+            raise ValueError("tnum fields must fit in 64 bits")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int) -> "Tnum":
+        """A fully known value."""
+        return cls(_wrap(value), 0)
+
+    @classmethod
+    def unknown(cls) -> "Tnum":
+        """A fully unknown value."""
+        return cls(0, U64)
+
+    @classmethod
+    def range(cls, umin: int, umax: int) -> "Tnum":
+        """The tightest tnum containing every value in [umin, umax]."""
+        chi = umin ^ umax
+        bits = chi.bit_length()
+        if bits > 63:
+            return cls.unknown()
+        delta = (1 << bits) - 1
+        return cls(umin & ~delta, delta)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        """True when every bit is known."""
+        return self.mask == 0
+
+    @property
+    def is_unknown(self) -> bool:
+        """True when no bit is known."""
+        return self.mask == U64
+
+    def is_aligned(self, size: int) -> bool:
+        """True when the value is provably ``size``-aligned."""
+        if size == 0:
+            return True
+        return ((self.value | self.mask) & (size - 1)) == 0
+
+    def contains(self, other: "Tnum") -> bool:
+        """``tnum_in``: is every concretization of ``other`` also a
+        concretization of ``self``?"""
+        if other.mask & ~self.mask:
+            return False
+        return self.value == (other.value & ~self.mask)
+
+    def contains_value(self, value: int) -> bool:
+        """Does ``value`` belong to this tnum's set?"""
+        return (value & ~self.mask) == self.value
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, other: "Tnum") -> "Tnum":
+        """Abstract 64-bit addition (kernel ``tnum_add``)."""
+        sm = _wrap(self.mask + other.mask)
+        sv = _wrap(self.value + other.value)
+        sigma = _wrap(sm + sv)
+        chi = sigma ^ sv
+        mu = chi | self.mask | other.mask
+        return Tnum(sv & ~mu, mu)
+
+    def sub(self, other: "Tnum") -> "Tnum":
+        """Abstract 64-bit subtraction (kernel ``tnum_sub``)."""
+        dv = _wrap(self.value - other.value)
+        alpha = _wrap(dv + self.mask)
+        beta = _wrap(dv - other.mask)
+        chi = alpha ^ beta
+        mu = chi | self.mask | other.mask
+        return Tnum(dv & ~mu, mu)
+
+    def and_(self, other: "Tnum") -> "Tnum":
+        """Abstract bitwise AND."""
+        alpha = self.value | self.mask
+        beta = other.value | other.mask
+        v = self.value & other.value
+        return Tnum(v, alpha & beta & ~v)
+
+    def or_(self, other: "Tnum") -> "Tnum":
+        """Abstract bitwise OR."""
+        v = self.value | other.value
+        mu = self.mask | other.mask
+        return Tnum(v, mu & ~v)
+
+    def xor(self, other: "Tnum") -> "Tnum":
+        """Abstract bitwise XOR."""
+        v = self.value ^ other.value
+        mu = self.mask | other.mask
+        return Tnum(v & ~mu, mu)
+
+    def mul(self, other: "Tnum") -> "Tnum":
+        """Abstract 64-bit multiplication (kernel ``tnum_mul``,
+        the half-multiply-accumulate formulation of [50])."""
+        a, b = self, other
+        acc_v = _wrap(a.value * b.value)
+        acc_m = Tnum(0, 0)
+        while a.value or a.mask:
+            if a.value & 1:
+                acc_m = acc_m.add(Tnum(0, b.mask))
+            elif a.mask & 1:
+                acc_m = acc_m.add(Tnum(0, b.value | b.mask))
+            a = a.rshift(1)
+            b = b.lshift(1)
+        return Tnum(acc_v, 0).add(acc_m)
+
+    def lshift(self, shift: int) -> "Tnum":
+        """Abstract left shift by a known amount."""
+        return Tnum(_wrap(self.value << shift), _wrap(self.mask << shift))
+
+    def rshift(self, shift: int) -> "Tnum":
+        """Abstract logical right shift by a known amount."""
+        return Tnum(self.value >> shift, self.mask >> shift)
+
+    def arshift(self, shift: int) -> "Tnum":
+        """Abstract arithmetic right shift by a known amount."""
+        def sar(x: int) -> int:
+            if x & (1 << 63):
+                return _wrap((x >> shift) | (U64 << (64 - shift)))
+            return x >> shift
+        if shift == 0:
+            return self
+        return Tnum(sar(self.value), sar(self.mask))
+
+    def neg(self) -> "Tnum":
+        """Abstract negation (0 - x)."""
+        return Tnum.const(0).sub(self)
+
+    # -- lattice ops -----------------------------------------------------------
+
+    def intersect(self, other: "Tnum") -> "Tnum":
+        """Combine two sources of knowledge about the same value."""
+        v = self.value | other.value
+        mu = self.mask & other.mask
+        return Tnum(v & ~mu, mu)
+
+    def union(self, other: "Tnum") -> "Tnum":
+        """Least upper bound: forget bits on which the two disagree."""
+        v = self.value & other.value
+        mu = self.mask | other.mask | (self.value ^ other.value)
+        return Tnum(v & ~mu, mu)
+
+    def cast(self, size: int) -> "Tnum":
+        """Truncate to ``size`` bytes (zero-extending semantics)."""
+        if size == 8:
+            return self
+        keep = (1 << (size * 8)) - 1
+        return Tnum(self.value & keep, self.mask & keep)
+
+    # -- bounds helpers ----------------------------------------------------------
+
+    @property
+    def umin(self) -> int:
+        """Smallest unsigned value in the set."""
+        return self.value
+
+    @property
+    def umax(self) -> int:
+        """Largest unsigned value in the set."""
+        return self.value | self.mask
+
+    def __str__(self) -> str:
+        if self.is_const:
+            return f"{self.value:#x}"
+        if self.is_unknown:
+            return "unknown"
+        return f"(value={self.value:#x}; mask={self.mask:#x})"
+
+
+TNUM_UNKNOWN = Tnum.unknown()
+TNUM_ZERO = Tnum.const(0)

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run()`` returning a structured result and
+``render(result)`` producing the text table/series the paper reports.
+The benchmarks in ``benchmarks/`` call these, as do the examples;
+``python -m repro.experiments.run_all`` regenerates everything.
+
+Index (see DESIGN.md §4 for the full mapping):
+
+* :mod:`fig2_verifier_loc` — verifier LoC growth,
+* :mod:`fig3_helper_complexity` — helper call-graph sizes,
+* :mod:`fig4_helper_growth` — helper count growth,
+* :mod:`table1_bug_stats` — bug statistics + executable cross-check,
+* :mod:`table2_enforcement` — property/enforcement matrix,
+* :mod:`exp_crash_sys_bpf` — the §2.2 kernel-crash experiment,
+* :mod:`exp_rcu_stall` — the §2.2 termination experiment,
+* :mod:`exp_verification_cost` — §2.1 verification expense,
+* :mod:`exp_helper_retirement` — the §3.2 survey.
+"""

@@ -1,0 +1,170 @@
+"""Per-bug executable demonstrations.
+
+For every modeled Table 1 bug flag, ``fire(bugs)`` runs a minimal
+trigger on a fresh kernel with the given :class:`BugConfig` and
+reports whether the bug manifested.  The Table 1 experiment runs each
+demo twice — buggy era and patched — and requires *fires* then
+*doesn't fire*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.attacks import Outcome, build_corpus, run_case
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R6, R10
+from repro.ebpf.maps import ArrayMap
+from repro.errors import KernelOops, MemoryFault, VerifierError
+from repro.kernel.kernel import Kernel
+
+
+def _corpus_fires(case_id: str, bugs: BugConfig) -> bool:
+    """True when the corpus attack compromises the kernel."""
+    case = next(c for c in build_corpus() if c.case_id == case_id)
+    return run_case(case, bugs=bugs) == Outcome.KERNEL_COMPROMISED
+
+
+def fire_sys_bpf_null_union(bugs: BugConfig) -> bool:
+    """CVE-2022-2785: NULL key pointer inside bpf_sys_bpf attr."""
+    return _corpus_fires("ebpf-sys-bpf-crash", bugs)
+
+
+def fire_task_storage_null_deref(bugs: BugConfig) -> bool:
+    """[42]: NULL task into bpf_task_storage_get."""
+    return _corpus_fires("ebpf-storage-null", bugs)
+
+
+def fire_verifier_ptr_arith_unchecked(bugs: BugConfig) -> bool:
+    """CVE-2022-23222: unchecked or-null pointer arithmetic."""
+    return _corpus_fires("ebpf-ptr-arith", bugs)
+
+
+def fire_jit_branch_miscompile(bugs: BugConfig) -> bool:
+    """CVE-2021-29154: branch displacement miscompilation."""
+    return _corpus_fires("ebpf-jit-hijack", bugs)
+
+
+def fire_sk_lookup_reqsk_leak(bugs: BugConfig) -> bool:
+    """[35]: request-sock reference leaked by a correct program."""
+    return _corpus_fires("ebpf-reqsk-leak", bugs)
+
+
+def fire_task_stack_missing_ref(bugs: BugConfig) -> bool:
+    """[34]: bpf_get_task_stack races task-stack teardown.
+
+    The racing exit is simulated by freeing the target task's kernel
+    stack before the (verified) program walks it."""
+    kernel = Kernel()
+    victim = kernel.create_task(comm="exiting")
+    kernel.mem.kfree(victim.kernel_stack)   # the concurrent exit
+    bpf = BpfSubsystem(kernel, bugs=bugs)
+    asm = (Asm()
+           .ld_imm64(R1, victim.address)
+           .mov64_reg(R2, R10).alu64_imm("add", R2, -64)
+           .st_imm(8, R10, -64, 0)   # init the buffer head
+           .mov64_imm(R3, 64)
+           .mov64_imm(R4, 0)
+           .call(ids.BPF_FUNC_get_task_stack)
+           .mov64_imm(R0, 0)
+           .exit_())
+    prog = bpf.load_program(asm.program(), ProgType.KPROBE,
+                            "stack_walk")
+    try:
+        bpf.run_on_current_task(prog)
+    except MemoryFault:
+        return True
+    return not kernel.healthy
+
+
+def fire_array_map_32bit_overflow(bugs: BugConfig) -> bool:
+    """[36]: element offset computed modulo 2**32.
+
+    The real trigger needs a multi-GiB map (index * value_size >=
+    2**32), which the simulator cannot back with real storage; the
+    demo therefore exercises the live offset computation directly and
+    reports whether a wrapped (aliasing) offset was produced."""
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel, bugs=bugs)
+    amap = bpf.create_map("array", key_size=4, value_size=64,
+                          max_entries=4)
+    assert isinstance(amap, ArrayMap)
+    huge_index = 1 << 26            # 2**26 * 64 == 2**32: wraps to 0
+    offset = amap.element_offset(huge_index)
+    return offset != huge_index * amap.value_size
+
+
+def fire_verifier_ptr_leak(bugs: BugConfig) -> bool:
+    """[13]-class: the verifier fails to reject a pointer store into
+    a user-readable map."""
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel, bugs=bugs)
+    amap = bpf.create_map("array", key_size=4, value_size=8,
+                          max_entries=1)
+    asm = (Asm()
+           .st_imm(4, R10, -4, 0)
+           .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+           .ld_map_fd(R1, amap.map_fd)
+           .call(ids.BPF_FUNC_map_lookup_elem)
+           .jmp_imm("jne", R0, 0, "have")
+           .mov64_imm(R0, 0).exit_()
+           .label("have")
+           .mov64_reg(R6, R0)
+           .stx(8, R6, 0, R6)     # store the map-value POINTER itself
+           .mov64_imm(R0, 0)
+           .exit_())
+    try:
+        prog = bpf.load_program(asm.program(), ProgType.KPROBE,
+                                "ptr_store")
+    except VerifierError:
+        return False               # patched: store rejected
+    bpf.run_on_current_task(prog)
+    leaked = int.from_bytes(amap.read_value(0), "little")
+    return leaked >= 0xFFFF_0000_0000_0000  # kernel address in the map
+
+
+def fire_verifier_loop_inline_uaf(bugs: BugConfig) -> bool:
+    """[54]: the verifier's own loop-inlining path is the victim."""
+    kernel = Kernel()
+    bpf = BpfSubsystem(kernel, bugs=bugs)
+
+    def loop_call(asm: Asm, label: str) -> Asm:
+        return (asm
+                .mov64_imm(R1, 4)
+                .ld_func(R2, label)
+                .mov64_imm(R3, 0)
+                .mov64_imm(R4, 0)
+                .call(ids.BPF_FUNC_loop))
+
+    asm = Asm()
+    loop_call(asm, "cb")
+    loop_call(asm, "cb")
+    asm.mov64_imm(R0, 0).exit_()
+    asm.label("cb").mov64_imm(R0, 0).exit_()
+    try:
+        bpf.load_program(asm.program(), ProgType.KPROBE,
+                         "double_inline")
+    except KernelOops:
+        return True                 # the verifier crashed the kernel
+    return False
+
+
+#: flag name -> demo
+DEMOS: Dict[str, Callable[[BugConfig], bool]] = {
+    "sys_bpf_null_union": fire_sys_bpf_null_union,
+    "sk_lookup_reqsk_leak": fire_sk_lookup_reqsk_leak,
+    "task_stack_missing_ref": fire_task_stack_missing_ref,
+    "array_map_32bit_overflow": fire_array_map_32bit_overflow,
+    "task_storage_null_deref": fire_task_storage_null_deref,
+    "verifier_ptr_arith_unchecked": fire_verifier_ptr_arith_unchecked,
+    "verifier_ptr_leak": fire_verifier_ptr_leak,
+    "verifier_loop_inline_uaf": fire_verifier_loop_inline_uaf,
+    "jit_branch_miscompile": fire_jit_branch_miscompile,
+}
+
+
+def demo_for(flag: str) -> Optional[Callable[[BugConfig], bool]]:
+    """The demo for a BugConfig flag, if modeled."""
+    return DEMOS.get(flag)

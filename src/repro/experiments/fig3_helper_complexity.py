@@ -1,0 +1,92 @@
+"""Figure 3: call-graph complexity of each eBPF helper.
+
+Runs the static call-graph measurement over the synthetic kernel for
+all 249 helpers and checks the paper's numbers: minimum 0
+(``bpf_get_current_pid_tgid``), maximum 4845 (``bpf_sys_bpf``), 52.2%
+of helpers reaching 30+ kernel functions, 34.5% reaching 500+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.callgraph import (
+    ComplexityReport,
+    log_histogram,
+    measure_helper_complexity,
+)
+from repro.ebpf.helpers.registry import build_default_registry
+from repro.experiments import report
+from repro.kernel.funcdb import build_default_funcdb
+
+
+@dataclass
+class Fig3Result:
+    """The measured population plus headline stats."""
+
+    complexity: ComplexityReport
+    histogram: List[Tuple[str, int]]
+    frac_30_plus: float
+    frac_500_plus: float
+    max_name: str
+    max_nodes: int
+    pid_tgid_nodes: int
+
+
+def run() -> Fig3Result:
+    """Regenerate Figure 3 (measurement, not dataset lookup)."""
+    db = build_default_funcdb()
+    registry = build_default_registry()
+    complexity = measure_helper_complexity(db, registry)
+    by_name = {h.name: h.callgraph_nodes for h in complexity.helpers}
+    return Fig3Result(
+        complexity=complexity,
+        histogram=log_histogram(complexity),
+        frac_30_plus=complexity.fraction_at_least(30),
+        frac_500_plus=complexity.fraction_at_least(500),
+        max_name=complexity.max_helper.name,
+        max_nodes=complexity.max_helper.callgraph_nodes,
+        pid_tgid_nodes=by_name.get("bpf_get_current_pid_tgid", -1),
+    )
+
+
+def render(result: Fig3Result) -> str:
+    """The Figure 3 artifact."""
+    parts = [report.render_table(
+        ["call-graph nodes", "# helpers"], result.histogram,
+        title="Figure 3: call-graph size distribution over "
+              f"{result.complexity.total} helpers")]
+    parts.append("")
+    parts.append(report.render_table(
+        ["percentile", "call-graph nodes"],
+        [(f"p{int(q * 100)}", result.complexity.percentile(q))
+         for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)],
+        title="Distribution summary"))
+    parts.append("")
+    parts.append("Shape checks (paper: 249 helpers, min 0, max 4845, "
+                 "52.2% >=30, 34.5% >=500):")
+    parts.append(report.check(
+        f"249 helpers measured ({result.complexity.total})",
+        result.complexity.total == 249))
+    parts.append(report.check(
+        "bpf_get_current_pid_tgid calls 0 kernel functions "
+        f"({result.pid_tgid_nodes})", result.pid_tgid_nodes == 0))
+    parts.append(report.check(
+        f"maximum is bpf_sys_bpf ({result.max_name}, "
+        f"{result.max_nodes} nodes)",
+        result.max_name == "bpf_sys_bpf"
+        and 4500 <= result.max_nodes <= 5200))
+    parts.append(report.check(
+        f"~52.2% of helpers reach 30+ functions "
+        f"({result.frac_30_plus:.1%})",
+        0.47 <= result.frac_30_plus <= 0.58))
+    parts.append(report.check(
+        f"~34.5% of helpers reach 500+ functions "
+        f"({result.frac_500_plus:.1%})",
+        0.30 <= result.frac_500_plus <= 0.40))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,74 @@
+"""Figure 4: the number of helper functions by kernel version/year.
+
+Regenerates the growth curve from the registry's per-version
+introduction tags and checks the paper's claim that "roughly 50 helper
+functions are added every two years".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.history import (
+    SeriesPoint,
+    growth_per_two_years,
+    helper_count_series,
+)
+from repro.experiments import report
+
+
+@dataclass
+class Fig4Result:
+    """The Figure 4 series plus growth-rate statistics."""
+
+    series: List[SeriesPoint]
+    growth_rates: List[float]
+
+    @property
+    def mean_growth_per_two_years(self) -> float:
+        """The paper's headline rate (~50 per two years)."""
+        if not self.growth_rates:
+            return 0.0
+        return sum(self.growth_rates) / len(self.growth_rates)
+
+    @property
+    def count_at_518(self) -> int:
+        """Helper count at v5.18 (paper: 249)."""
+        for point in self.series:
+            if point.version == "v5.18":
+                return point.value
+        return -1
+
+
+def run() -> Fig4Result:
+    """Regenerate Figure 4 from the helper registry."""
+    series = helper_count_series()
+    return Fig4Result(series=series,
+                      growth_rates=growth_per_two_years(series))
+
+
+def render(result: Fig4Result) -> str:
+    """The Figure 4 artifact."""
+    parts = [report.render_series(
+        [(f"{p.version} ({p.year})", p.value) for p in result.series],
+        title="Figure 4: number of eBPF helpers by kernel version",
+        x_label="kernel version", y_label="# helpers")]
+    parts.append("")
+    mean = result.mean_growth_per_two_years
+    parts.append("Shape checks:")
+    parts.append(report.check(
+        f"249 helpers at v5.18 ({result.count_at_518})",
+        result.count_at_518 == 249))
+    parts.append(report.check(
+        f"roughly 50 helpers added per two years (mean "
+        f"{mean:.0f}/2yr)", 35 <= mean <= 75))
+    parts.append(report.check(
+        "growth is monotone",
+        all(a.value <= b.value for a, b in zip(result.series,
+                                               result.series[1:]))))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,60 @@
+"""Plain-text rendering for experiment results.
+
+Experiments print the same rows/series the paper's figures encode, as
+aligned ASCII tables — the artifact a reader diffs against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[tuple], title: str = "",
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 50) -> str:
+    """Render an (x, y) series with a proportional bar per point —
+    the text stand-in for a line chart."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not points:
+        return "\n".join(lines + ["(empty series)"])
+    max_y = max(y for __, y in points) or 1
+    label_width = max(len(str(x)) for x, __ in points)
+    for x, y in points:
+        bar = "#" * max(1, int(width * y / max_y))
+        lines.append(f"{str(x).rjust(label_width)} | "
+                     f"{str(y).rjust(len(str(max_y)))} {bar}")
+    lines.append(f"({x_label} vs {y_label})")
+    return "\n".join(lines)
+
+
+def check(label: str, condition: bool) -> str:
+    """One pass/fail line for shape assertions."""
+    marker = "PASS" if condition else "FAIL"
+    return f"  [{marker}] {label}"

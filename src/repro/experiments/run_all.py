@@ -1,0 +1,58 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    exp_crash_sys_bpf,
+    exp_expressiveness,
+    fig1_fig5_pipelines,
+    exp_helper_retirement,
+    exp_mpk_protection,
+    exp_rcu_stall,
+    exp_verification_cost,
+    fig2_verifier_loc,
+    fig3_helper_complexity,
+    fig4_helper_growth,
+    table1_bug_stats,
+    table2_enforcement,
+)
+
+EXPERIMENTS = [
+    ("Figures 1 & 5", fig1_fig5_pipelines),
+    ("Figure 2", fig2_verifier_loc),
+    ("Figure 3", fig3_helper_complexity),
+    ("Figure 4", fig4_helper_growth),
+    ("Table 1", table1_bug_stats),
+    ("Table 2", table2_enforcement),
+    ("§2.2 crash", exp_crash_sys_bpf),
+    ("§2.2 RCU stall", exp_rcu_stall),
+    ("§2.1 verification cost", exp_verification_cost),
+    ("§2.1 expressiveness (false positives)", exp_expressiveness),
+    ("§3.2 helper retirement", exp_helper_retirement),
+    ("§4 protection from unsafe code", exp_mpk_protection),
+]
+
+
+def main() -> int:
+    """Run everything; returns 0 when every shape check passes."""
+    failures = 0
+    for label, module in EXPERIMENTS:
+        print()
+        print("#" * 72)
+        print(f"# {label}  ({module.__name__})")
+        print("#" * 72)
+        text = module.render(module.run())
+        print(text)
+        failures += text.count("[FAIL]")
+    print()
+    if failures:
+        print(f"{failures} shape check(s) FAILED")
+    else:
+        print("all shape checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Simulated Linux-kernel substrate.
+
+Everything the paper's experiments need from a kernel is modeled here:
+a virtual clock, per-CPU state, a typed kernel address space with fault
+detection, refcounted objects, RCU with a stall detector, spinlocks, a
+panic/oops path, kernel object types, a synthetic kernel function
+database (for the call-graph measurements of Figure 3), and a minimal
+``bpf(2)``-style syscall surface.
+
+The central type is :class:`Kernel`, which aggregates the subsystems
+and is passed to both extension frameworks.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.ktime import VirtualClock
+from repro.kernel.memory import KernelAddressSpace, Allocation
+from repro.kernel.panic import KernelLog
+from repro.kernel.rcu import RcuSubsystem
+from repro.kernel.locks import SpinLock
+from repro.kernel.refcount import RefcountRegistry, RefcountedObject
+from repro.kernel.cpu import Cpu
+from repro.kernel.objects import TaskStruct, Sock, SkBuff, RequestSock
+
+__all__ = [
+    "Kernel",
+    "VirtualClock",
+    "KernelAddressSpace",
+    "Allocation",
+    "KernelLog",
+    "RcuSubsystem",
+    "SpinLock",
+    "RefcountRegistry",
+    "RefcountedObject",
+    "Cpu",
+    "TaskStruct",
+    "Sock",
+    "SkBuff",
+    "RequestSock",
+]

@@ -1,0 +1,75 @@
+"""Per-CPU state: interrupt context, preemption, per-CPU storage.
+
+eBPF programs frequently run in non-sleepable contexts (kprobes fire in
+interrupt context, XDP in softirq).  The paper's proposed framework
+relies on this: its memory pool is a *per-CPU region* precisely because
+an allocator may not be available in interrupt context (§3.1, [17]).
+The simulation models just enough — IRQ nesting depth, preempt count,
+and a per-CPU key/value region — for those constraints to be real.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class Cpu:
+    """One simulated CPU."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self._irq_depth = 0
+        self._preempt_count = 0
+        #: per-CPU storage region (used by the SafeLang memory pool)
+        self.storage: Dict[str, Any] = {}
+
+    @property
+    def in_interrupt(self) -> bool:
+        """True while servicing an interrupt (non-sleepable context)."""
+        return self._irq_depth > 0
+
+    @property
+    def preemptible(self) -> bool:
+        """True when preemption is enabled and not in IRQ context."""
+        return self._preempt_count == 0 and self._irq_depth == 0
+
+    def irq_enter(self) -> None:
+        """Enter interrupt context (may nest)."""
+        self._irq_depth += 1
+
+    def irq_exit(self) -> None:
+        """Leave interrupt context."""
+        if self._irq_depth == 0:
+            raise RuntimeError(f"cpu{self.cpu_id}: irq_exit with depth 0")
+        self._irq_depth -= 1
+
+    def preempt_disable(self) -> None:
+        """Disable preemption (may nest)."""
+        self._preempt_count += 1
+
+    def preempt_enable(self) -> None:
+        """Re-enable preemption."""
+        if self._preempt_count == 0:
+            raise RuntimeError(
+                f"cpu{self.cpu_id}: preempt_enable with count 0")
+        self._preempt_count -= 1
+
+
+class InterruptContext:
+    """Context manager that runs a block in simulated interrupt context.
+
+    Example::
+
+        with InterruptContext(cpu):
+            framework.run(extension, ctx)   # non-sleepable here
+    """
+
+    def __init__(self, cpu: Cpu) -> None:
+        self._cpu = cpu
+
+    def __enter__(self) -> Cpu:
+        self._cpu.irq_enter()
+        return self._cpu
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._cpu.irq_exit()

@@ -1,0 +1,161 @@
+"""The :class:`Kernel` aggregate: one simulated kernel instance.
+
+Both extension frameworks — the modeled eBPF subsystem and the paper's
+proposed SafeLang framework — execute against a ``Kernel``.  It wires
+the subsystems together (memory faults flow into the oops path, RCU
+stall detection hangs off the virtual clock) and exposes the object
+population (tasks, sockets) that helper functions operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import KernelSafetyViolation, MemoryFault
+from repro.kernel.cpu import Cpu
+from repro.kernel.funcdb import FunctionDatabase, build_default_funcdb
+from repro.kernel.ktime import VirtualClock
+from repro.kernel.locks import LockRegistry
+from repro.kernel.memory import KernelAddressSpace
+from repro.kernel.objects import RequestSock, SkBuff, Sock, TaskStruct
+from repro.kernel.panic import KernelLog
+from repro.kernel.rcu import RcuSubsystem
+from repro.kernel.refcount import RefcountRegistry
+
+#: virtual nanoseconds charged per executed extension instruction
+NSEC_PER_INSN = 1
+
+
+class Kernel:
+    """One booted instance of the simulated kernel."""
+
+    def __init__(self, nr_cpus: int = 4,
+                 funcdb: Optional[FunctionDatabase] = None) -> None:
+        self.clock = VirtualClock()
+        self.log = KernelLog()
+        self.mem = KernelAddressSpace()
+        self.mem.fault_hook = self._on_memory_fault
+        self.rcu = RcuSubsystem(self.clock, self.log)
+        self.locks = LockRegistry()
+        self.refs = RefcountRegistry()
+        self.cpus = [Cpu(i) for i in range(nr_cpus)]
+        self._current_cpu = 0
+        self._funcdb = funcdb
+
+        self.tasks: List[TaskStruct] = []
+        self.sockets: List[Sock] = []
+        self.request_socks: List[RequestSock] = []
+        self._next_pid = 100
+
+        # the init task; extensions observe it as "current"
+        self.current_task = self.create_task(comm="init", pid=1)
+        self.log.log(0, "Linux version 5.18.0-repro (simulated)")
+
+        # attachment points (built lazily to avoid an import cycle)
+        self._hooks = None
+
+    @property
+    def hooks(self) -> "object":
+        """The kernel's attachment points (see
+        :mod:`repro.kernel.hooks`)."""
+        if self._hooks is None:
+            from repro.kernel.hooks import HookManager
+            self._hooks = HookManager(self)
+        return self._hooks
+
+    # -- subsystem access ---------------------------------------------------
+
+    @property
+    def funcdb(self) -> FunctionDatabase:
+        """The synthetic source tree (built lazily; shared by default)."""
+        if self._funcdb is None:
+            self._funcdb = build_default_funcdb()
+        return self._funcdb
+
+    @property
+    def current_cpu(self) -> Cpu:
+        """The CPU the simulation is currently executing on."""
+        return self.cpus[self._current_cpu]
+
+    def set_current_cpu(self, cpu_id: int) -> None:
+        """Migrate the simulation to another CPU."""
+        if not 0 <= cpu_id < len(self.cpus):
+            raise ValueError(f"no such cpu {cpu_id}")
+        self._current_cpu = cpu_id
+
+    @property
+    def healthy(self) -> bool:
+        """False once the kernel has oopsed."""
+        return not self.log.tainted
+
+    def assert_healthy(self) -> None:
+        """Raise if the kernel has oopsed (experiments use this to
+        classify 'kernel compromised' outcomes)."""
+        oops = self.log.last_oops()
+        if oops is not None:
+            raise KernelSafetyViolation(
+                f"kernel is tainted: {oops.category}: {oops.reason}",
+                source=oops.source)
+
+    # -- time / work accounting ---------------------------------------------
+
+    def work(self, instructions: int) -> None:
+        """Charge virtual time for executed extension instructions.
+
+        This is what arms the RCU stall detector and watchdogs against
+        long-running extensions: every instruction advances the clock.
+        """
+        self.clock.advance(instructions * NSEC_PER_INSN)
+
+    # -- object population --------------------------------------------------
+
+    def create_task(self, comm: str = "task",
+                    pid: Optional[int] = None) -> TaskStruct:
+        """Spawn a task."""
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        task = TaskStruct(self.mem, self.refs, pid=pid, comm=comm)
+        self.tasks.append(task)
+        return task
+
+    def create_socket(self, src_ip: int = 0x7F000001, src_port: int = 0,
+                      dst_ip: int = 0, dst_port: int = 0) -> Sock:
+        """Open a (simulated) TCP socket."""
+        sock = Sock(self.mem, self.refs, src_ip=src_ip, src_port=src_port,
+                    dst_ip=dst_ip, dst_port=dst_port)
+        self.sockets.append(sock)
+        return sock
+
+    def create_request_sock(self, name: str) -> RequestSock:
+        """Create a connection-request mini-socket."""
+        reqsk = RequestSock(self.mem, self.refs, name)
+        self.request_socks.append(reqsk)
+        return reqsk
+
+    def create_skb(self, payload: bytes, protocol: int = 0x0800) -> SkBuff:
+        """Build a socket buffer carrying ``payload``."""
+        return SkBuff(self.mem, payload, protocol=protocol)
+
+    def lookup_socket(self, dst_ip: int, dst_port: int) -> Optional[Sock]:
+        """Socket lookup by destination tuple (``sk_lookup`` model)."""
+        for sock in self.sockets:
+            if (sock.read_field("src_ip") == dst_ip
+                    and sock.read_field("src_port") == dst_port):
+                return sock
+        return None
+
+    def task_by_pid(self, pid: int) -> Optional[TaskStruct]:
+        """Find a task by pid."""
+        for task in self.tasks:
+            if task.pid == pid:
+                return task
+        return None
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _on_memory_fault(self, fault: MemoryFault) -> None:
+        """Route a detected memory fault into the oops path."""
+        self.log.record_oops(
+            self.clock.now_ns, str(fault),
+            category=fault.category, source=fault.source)

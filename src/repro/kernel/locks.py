@@ -1,0 +1,89 @@
+"""Spinlocks with the discipline the eBPF verifier polices.
+
+Since ``bpf_spin_lock`` was introduced, the verifier grew logic to
+check that a program "only holds one lock at a time and releases the
+lock before termination" [48] (paper §2.1).  The simulated spinlock
+detects the violations directly: double acquisition (self-deadlock),
+release by a non-owner, and locks still held when an extension exits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import KernelDeadlock, ResourceLeak
+
+
+class SpinLock:
+    """A non-recursive spinlock with owner tracking."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._owner: Optional[str] = None
+        self.acquire_count = 0
+
+    @property
+    def locked(self) -> bool:
+        """True while held."""
+        return self._owner is not None
+
+    @property
+    def owner(self) -> Optional[str]:
+        """Current holder, if any."""
+        return self._owner
+
+    def lock(self, owner: str) -> None:
+        """Acquire.  Re-acquisition by the same owner is a self-deadlock;
+        acquisition while held by another simulated context would spin
+        forever on one CPU, which we also surface as a deadlock."""
+        if self._owner == owner:
+            raise KernelDeadlock(
+                f"AA deadlock: {owner} re-acquired spinlock {self.name}",
+                source=owner)
+        if self._owner is not None:
+            raise KernelDeadlock(
+                f"deadlock: {owner} spinning on {self.name} "
+                f"held by {self._owner}",
+                source=owner)
+        self._owner = owner
+        self.acquire_count += 1
+
+    def unlock(self, owner: str) -> None:
+        """Release.  Only the holder may release."""
+        if self._owner is None:
+            raise KernelDeadlock(
+                f"{owner} unlocked {self.name} which is not held",
+                source=owner)
+        if self._owner != owner:
+            raise KernelDeadlock(
+                f"{owner} unlocked {self.name} held by {self._owner}",
+                source=owner)
+        self._owner = None
+
+
+class LockRegistry:
+    """All spinlocks reachable by extensions, with exit-time auditing."""
+
+    def __init__(self) -> None:
+        self._locks: List[SpinLock] = []
+
+    def create(self, name: str) -> SpinLock:
+        """Create and track a new spinlock."""
+        lock = SpinLock(name)
+        self._locks.append(lock)
+        return lock
+
+    def held_by(self, owner: str) -> List[SpinLock]:
+        """Locks currently held by ``owner``."""
+        return [lk for lk in self._locks if lk.owner == owner]
+
+    def assert_none_held(self, owner: str) -> None:
+        """Raise :class:`ResourceLeak` if ``owner`` still holds locks —
+        the 'lock held at program exit' condition the verifier rejects
+        statically and our runtime detects dynamically."""
+        held = self.held_by(owner)
+        if held:
+            names = ", ".join(lk.name for lk in held)
+            raise ResourceLeak(
+                f"{owner} exited still holding spinlock(s): {names}",
+                source=owner)

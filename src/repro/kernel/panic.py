@@ -1,0 +1,81 @@
+"""Kernel log, oops and panic machinery.
+
+The paper's §2.2 experiment ends in a kernel crash; the simulation must
+make "the kernel crashed" a first-class, observable outcome.  An oops
+is recorded in the kernel log and raised as :class:`~repro.errors.KernelOops`
+(or a subclass); once the kernel has oopsed it is *tainted* and refuses
+further work, which is how experiments distinguish "extension was
+contained" from "kernel compromised".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import KernelOops
+
+
+@dataclass
+class LogRecord:
+    """One line of kernel log output."""
+
+    timestamp_ns: int
+    level: str
+    message: str
+
+    def render(self) -> str:
+        """Format like a dmesg line: ``[    1.234567] message``."""
+        seconds = self.timestamp_ns / 1_000_000_000
+        return f"[{seconds:12.6f}] {self.message}"
+
+
+@dataclass
+class OopsRecord:
+    """A recorded kernel oops with attribution."""
+
+    timestamp_ns: int
+    reason: str
+    category: str
+    source: str
+
+
+class KernelLog:
+    """An append-only kernel message buffer plus oops bookkeeping."""
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+        self.oopses: List[OopsRecord] = []
+        self._tainted = False
+
+    @property
+    def tainted(self) -> bool:
+        """True once any oops has been recorded."""
+        return self._tainted
+
+    def log(self, timestamp_ns: int, message: str,
+            level: str = "info") -> None:
+        """Append a log record."""
+        self.records.append(LogRecord(timestamp_ns, level, message))
+
+    def record_oops(self, timestamp_ns: int, reason: str, *,
+                    category: str, source: str) -> None:
+        """Record an oops and taint the kernel."""
+        self._tainted = True
+        self.oopses.append(OopsRecord(timestamp_ns, reason, category, source))
+        self.log(timestamp_ns,
+                 f"BUG: {category}: {reason} (source: {source})",
+                 level="emerg")
+        self.log(timestamp_ns, "---[ end trace ]---", level="emerg")
+
+    def grep(self, needle: str) -> List[LogRecord]:
+        """Return every log record containing ``needle``."""
+        return [r for r in self.records if needle in r.message]
+
+    def dmesg(self) -> str:
+        """Render the whole log as text."""
+        return "\n".join(r.render() for r in self.records)
+
+    def last_oops(self) -> Optional[OopsRecord]:
+        """The most recent oops, or ``None`` if the kernel is healthy."""
+        return self.oopses[-1] if self.oopses else None

@@ -1,0 +1,139 @@
+"""RCU read-side critical sections and the stall detector.
+
+The paper's termination-violation experiment (§2.2) runs an eBPF
+program "for practically infinite time while holding the RCU read
+lock, causing RCU stalls".  eBPF programs run under
+``rcu_read_lock()``; a program that never terminates therefore blocks
+grace periods and the kernel's RCU stall detector fires.
+
+The simulation models exactly that: entering a program takes the RCU
+read lock, the stall detector is a virtual-clock tick callback, and a
+critical section that outlives the stall timeout produces
+:class:`~repro.errors.RcuStall` reports in the kernel log (repeating,
+as the real detector does) — and, like the real kernel, the detector
+*reports* the stall but cannot stop the offending code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import RcuStall
+from repro.kernel.ktime import NSEC_PER_SEC, VirtualClock
+from repro.kernel.panic import KernelLog
+
+#: Linux default: RCU CPU stall warnings after 21 seconds
+DEFAULT_STALL_TIMEOUT_NS = 21 * NSEC_PER_SEC
+
+
+@dataclass
+class StallReport:
+    """One RCU stall warning, as would appear in dmesg."""
+
+    detected_at_ns: int
+    section_started_at_ns: int
+    holder: str
+
+    @property
+    def duration_ns(self) -> int:
+        """How long the critical section had been running at detection."""
+        return self.detected_at_ns - self.section_started_at_ns
+
+
+class RcuSubsystem:
+    """Read-side lock nesting plus the stall detector."""
+
+    def __init__(self, clock: VirtualClock, log: KernelLog,
+                 stall_timeout_ns: int = DEFAULT_STALL_TIMEOUT_NS) -> None:
+        self._clock = clock
+        self._log = log
+        self.stall_timeout_ns = stall_timeout_ns
+        self._nesting = 0
+        self._section_start_ns: Optional[int] = None
+        self._holder = "unknown"
+        self._next_report_at: Optional[int] = None
+        self.stall_reports: List[StallReport] = []
+        clock.add_tick_callback("rcu-stall-detector", self._on_tick)
+
+    @property
+    def read_lock_held(self) -> bool:
+        """True inside a read-side critical section."""
+        return self._nesting > 0
+
+    def read_lock(self, holder: str = "kernel") -> None:
+        """Enter a read-side critical section (nests)."""
+        if self._nesting == 0:
+            self._section_start_ns = self._clock.now_ns
+            self._holder = holder
+            self._next_report_at = self._clock.now_ns + self.stall_timeout_ns
+        self._nesting += 1
+
+    def read_unlock(self) -> None:
+        """Leave a read-side critical section."""
+        if self._nesting == 0:
+            raise RuntimeError("rcu_read_unlock without rcu_read_lock")
+        self._nesting -= 1
+        if self._nesting == 0:
+            self._section_start_ns = None
+            self._next_report_at = None
+
+    def synchronize(self) -> None:
+        """Wait for a grace period.  Deadlocks (faults) if called from
+        inside a read-side critical section."""
+        if self.read_lock_held:
+            raise RcuStall(
+                "synchronize_rcu() called with RCU read lock held "
+                f"by {self._holder}: self-deadlock",
+                source=self._holder)
+
+    #: warnings emitted per clock advance before the detector resyncs
+    #: (bulk fast-forwards would otherwise emit unbounded reports)
+    MAX_REPORTS_PER_TICK = 8
+
+    def _on_tick(self, now_ns: int) -> None:
+        """Stall detector: fires repeatedly while a section overstays.
+
+        Reports are stamped at their *scheduled* deadlines, so a bulk
+        virtual-time jump (loop fast-forward) still produces the first
+        warning at exactly the stall timeout, like a real periodic
+        timer would have."""
+        if self._next_report_at is None or now_ns < self._next_report_at:
+            return
+        assert self._section_start_ns is not None
+        emitted = 0
+        while self._next_report_at is not None \
+                and now_ns >= self._next_report_at \
+                and emitted < self.MAX_REPORTS_PER_TICK:
+            report = StallReport(
+                detected_at_ns=self._next_report_at,
+                section_started_at_ns=self._section_start_ns,
+                holder=self._holder,
+            )
+            self.stall_reports.append(report)
+            stalled_s = report.duration_ns / NSEC_PER_SEC
+            self._log.log(
+                report.detected_at_ns,
+                f"rcu: INFO: rcu_sched self-detected stall on CPU "
+                f"({self._holder} stuck for {stalled_s:.0f}s)",
+                level="err")
+            self._next_report_at += self.stall_timeout_ns
+            emitted += 1
+        if now_ns >= self._next_report_at:
+            # far behind after a huge jump: resync like a rate-limited
+            # printk would
+            self._next_report_at = now_ns + self.stall_timeout_ns
+
+
+class RcuReadGuard:
+    """Context manager for a read-side critical section."""
+
+    def __init__(self, rcu: RcuSubsystem, holder: str = "kernel") -> None:
+        self._rcu = rcu
+        self._holder = holder
+
+    def __enter__(self) -> None:
+        self._rcu.read_lock(self._holder)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._rcu.read_unlock()

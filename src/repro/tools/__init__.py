@@ -1,0 +1,1 @@
+"""Command-line tooling over the simulated kernel."""

@@ -1,0 +1,220 @@
+"""A bpftool-style CLI for the simulated kernel.
+
+Usage (each invocation boots a fresh simulated kernel):
+
+    python -m repro.tools.bpftool prog verify prog.s --type xdp --log
+    python -m repro.tools.bpftool prog run prog.s --payload 'hello' \
+        --map array:4:8:16
+    python -m repro.tools.bpftool prog dump prog.s
+    python -m repro.tools.bpftool helper list --class retire
+    python -m repro.tools.bpftool bugs list
+
+Programs are text-format assembly (see :mod:`repro.ebpf.asm_text`);
+``map_fd[N]`` references resolve against ``--map`` definitions, which
+are created in order with fds starting at 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.bugs import full_bug_table
+from repro.ebpf.asm_text import assemble_text
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.disasm import disasm
+from repro.ebpf.helpers.registry import build_default_registry
+from repro.ebpf.loader import BpfSubsystem
+from repro.ebpf.progs import ProgType
+from repro.errors import KernelSafetyViolation, VerifierError
+from repro.kernel import Kernel
+
+
+def _make_subsystem(args) -> BpfSubsystem:
+    kernel = Kernel()
+    bugs = BugConfig.all_patched() if getattr(args, "patched", False) \
+        else BugConfig()
+    return BpfSubsystem(kernel, bugs=bugs)
+
+
+def _create_maps(bpf: BpfSubsystem, specs: List[str]) -> None:
+    for spec in specs or ():
+        parts = spec.split(":")
+        map_type = parts[0]
+        key_size = int(parts[1]) if len(parts) > 1 else 4
+        value_size = int(parts[2]) if len(parts) > 2 else 8
+        max_entries = int(parts[3]) if len(parts) > 3 else 16
+        created = bpf.create_map(map_type, key_size=key_size,
+                                 value_size=value_size,
+                                 max_entries=max_entries)
+        print(f"created {map_type} map fd={created.map_fd} "
+              f"key={key_size} value={value_size} "
+              f"entries={max_entries}")
+
+
+def _read_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return assemble_text(handle.read())
+
+
+def cmd_prog_verify(args) -> int:
+    """``prog verify``: run the in-kernel verifier on a file."""
+    bpf = _make_subsystem(args)
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file,
+                                log_level=2 if args.log else 1)
+    except VerifierError as error:
+        print("VERIFICATION FAILED")
+        print(f"  {error}")
+        if args.log and error.log:
+            print("--- verifier log ---")
+            print(error.log)
+        return 1
+    stats = prog.verifier_stats
+    print(f"verification OK: {len(program)} insns, "
+          f"{stats.insns_processed} steps, "
+          f"{stats.states_explored} states stored, "
+          f"{stats.prune_hits} prunes, "
+          f"{stats.wall_time_s * 1e3:.2f} ms")
+    if args.log:
+        print("--- verifier log ---")
+        print("\n".join(stats.log))
+    return 0
+
+
+def cmd_prog_run(args) -> int:
+    """``prog run``: verify then execute."""
+    bpf = _make_subsystem(args)
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file)
+    except VerifierError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return 1
+    payload = args.payload.encode("latin-1")
+    try:
+        if prog_type in (ProgType.XDP, ProgType.SOCKET_FILTER,
+                         ProgType.CGROUP_SKB):
+            result = bpf.run_on_packet(prog, payload)
+        else:
+            result = bpf.run_on_current_task(prog)
+    except KernelSafetyViolation as violation:
+        print(f"KERNEL COMPROMISED: {violation.category}: {violation}")
+        print("--- dmesg tail ---")
+        for line in bpf.kernel.log.dmesg().splitlines()[-4:]:
+            print(f"  {line}")
+        return 2
+    print(f"return value: {result} ({result:#x})")
+    print(f"kernel healthy: {bpf.kernel.healthy}")
+    if args.dmesg:
+        print("--- dmesg ---")
+        print(bpf.kernel.log.dmesg())
+    return 0
+
+
+def cmd_prog_dump(args) -> int:
+    """``prog dump``: assemble and pretty-print."""
+    program = _read_program(args.file)
+    print(disasm(program))
+    return 0
+
+
+def cmd_helper_list(args) -> int:
+    """``helper list``: print the registry."""
+    registry = build_default_registry()
+    rows = registry.all_specs()
+    if args.klass:
+        rows = [s for s in rows if s.classification == args.klass]
+    if args.implemented:
+        rows = [s for s in rows if s.is_implemented]
+    print(f"{'id':>5}  {'name':40s} {'since':7s} {'cg-size':>8} "
+          f"{'class':9s} impl")
+    for spec in rows:
+        print(f"{spec.helper_id:5d}  {spec.name:40s} "
+              f"{spec.introduced:7s} {spec.callgraph_size:8d} "
+              f"{spec.classification:9s} "
+              f"{'yes' if spec.is_implemented else 'no'}")
+    print(f"({len(rows)} helpers)")
+    return 0
+
+
+def cmd_bugs_list(args) -> int:
+    """``bugs list``: print the Table 1 population."""
+    print(f"{'category':28s} {'component':9s} {'year':4s} "
+          f"{'flag':30s} title")
+    for bug in full_bug_table():
+        flag = bug.repro_flag or "-"
+        print(f"{bug.category:28s} {bug.component:9s} {bug.year} "
+              f"{flag:30s} {bug.title[:60]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="bpftool",
+        description="bpftool-style CLI over the simulated kernel")
+    sub = parser.add_subparsers(dest="object", required=True)
+
+    prog = sub.add_parser("prog", help="program operations")
+    prog_sub = prog.add_subparsers(dest="action", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("file", help="text-assembly program file")
+    common.add_argument("--type", default="kprobe",
+                        choices=[t.value for t in ProgType])
+    common.add_argument("--map", action="append",
+                        metavar="TYPE[:KEY:VALUE:ENTRIES]",
+                        help="create a map before loading")
+    common.add_argument("--patched", action="store_true",
+                        help="use a kernel with all modeled bugs fixed")
+
+    verify = prog_sub.add_parser("verify", parents=[common],
+                                 help="run the in-kernel verifier")
+    verify.add_argument("--log", action="store_true",
+                        help="print the per-insn verifier trace")
+    verify.set_defaults(func=cmd_prog_verify)
+
+    run = prog_sub.add_parser("run", parents=[common],
+                              help="verify then execute")
+    run.add_argument("--payload", default="",
+                     help="packet payload for skb/xdp programs")
+    run.add_argument("--dmesg", action="store_true",
+                     help="print the full kernel log after the run")
+    run.set_defaults(func=cmd_prog_run)
+
+    dump = prog_sub.add_parser("dump", help="assemble + disassemble")
+    dump.add_argument("file")
+    dump.set_defaults(func=cmd_prog_dump)
+
+    helper = sub.add_parser("helper", help="helper registry")
+    helper_sub = helper.add_subparsers(dest="action", required=True)
+    helper_list = helper_sub.add_parser("list")
+    helper_list.add_argument("--class", dest="klass",
+                             choices=["retire", "simplify", "wrap",
+                                      "keep"])
+    helper_list.add_argument("--implemented", action="store_true")
+    helper_list.set_defaults(func=cmd_helper_list)
+
+    bugs = sub.add_parser("bugs", help="the Table 1 bug population")
+    bugs_sub = bugs.add_subparsers(dest="action", required=True)
+    bugs_list = bugs_sub.add_parser("list")
+    bugs_list.set_defaults(func=cmd_bugs_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Analysis-layer tests: history, call graph, LoC, bugs, survey."""
+
+import pytest
+
+from repro.analysis.bugs import (
+    NAMED_BUGS,
+    TABLE1_EXPECTED,
+    executable_bugs,
+    full_bug_table,
+    table1_counts,
+    totals,
+)
+from repro.analysis.callgraph import (
+    log_histogram,
+    measure_helper_complexity,
+    reachable_count,
+)
+from repro.analysis.helper_survey import run_survey
+from repro.analysis.history import (
+    VERIFIER_LOC,
+    growth_per_two_years,
+    helper_count_series,
+    verifier_loc_series,
+)
+from repro.analysis.loc import (
+    count_python_file,
+    funcdb_loc_by_subsystem,
+    verifier_loc_breakdown,
+)
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.helpers.registry import build_default_registry
+from repro.kernel.funcdb import FunctionDatabase, build_default_funcdb
+
+
+class TestHistory:
+    def test_fig2_series_ordered_and_monotone(self):
+        series = verifier_loc_series()
+        assert [p.value for p in series] == sorted(
+            p.value for p in series)
+
+    def test_fig2_matches_paper_endpoints(self):
+        assert VERIFIER_LOC["v3.18"] < 2500
+        assert 11_000 <= VERIFIER_LOC["v6.1"] <= 13_000
+
+    def test_fig4_series_from_registry(self):
+        series = helper_count_series()
+        by_version = {p.version: p.value for p in series}
+        assert by_version["v5.18"] == 249
+
+    def test_growth_rate_computation(self):
+        series = verifier_loc_series()
+        rates = growth_per_two_years(series)
+        assert all(r > 0 for r in rates)
+
+    def test_growth_empty_series(self):
+        assert growth_per_two_years([]) == []
+
+
+class TestCallgraph:
+    def test_reachable_count_simple_chain(self):
+        db = FunctionDatabase()
+        a = db.add_function("a", "lib", 5)
+        b = db.add_function("b", "lib", 5, callees=[a])
+        c = db.add_function("c", "lib", 5, callees=[b])
+        assert reachable_count(db, c) == 2
+        assert reachable_count(db, a) == 0
+
+    def test_measurement_agrees_with_generator(self):
+        """The independent BFS must agree with the generator's DP."""
+        db = build_default_funcdb()
+        for fn_id in range(0, len(db), 2500):
+            assert reachable_count(db, fn_id) == db.closure_size(fn_id)
+
+    def test_full_measurement(self):
+        report = measure_helper_complexity(build_default_funcdb(),
+                                           build_default_registry())
+        assert report.total == 249
+        assert report.max_helper.name == "bpf_sys_bpf"
+        assert report.min_helper.callgraph_nodes == 0
+
+    def test_fraction_and_percentile(self):
+        report = measure_helper_complexity(build_default_funcdb(),
+                                           build_default_registry())
+        assert 0.45 <= report.fraction_at_least(30) <= 0.60
+        assert report.percentile(0.0) == 0
+        assert report.percentile(1.0) >= 4500
+
+    def test_histogram_covers_population(self):
+        report = measure_helper_complexity(build_default_funcdb(),
+                                           build_default_registry())
+        buckets = log_histogram(report)
+        assert sum(count for __, count in buckets) == 249
+
+    def test_attach_idempotent(self):
+        db = build_default_funcdb()
+        registry = build_default_registry()
+        first = registry.attach_to_funcdb(db)
+        second = registry.attach_to_funcdb(db)
+        assert first == second
+
+
+class TestLoc:
+    def test_count_this_test_file(self, tmp_path):
+        sample = tmp_path / "sample.py"
+        sample.write_text('"""Doc."""\n\n# comment\nx = 1\n')
+        entry = count_python_file(str(sample))
+        assert entry.code == 1
+        assert entry.comment == 2
+        assert entry.blank == 1
+
+    def test_multiline_docstring(self, tmp_path):
+        sample = tmp_path / "doc.py"
+        sample.write_text('"""line one\nline two\n"""\nx = 1\n')
+        entry = count_python_file(str(sample))
+        assert entry.comment == 3 and entry.code == 1
+
+    def test_verifier_breakdown_has_modules(self):
+        breakdown = verifier_loc_breakdown()
+        assert "analyzer.py" in breakdown
+        assert "tnum.py" in breakdown
+        assert breakdown["analyzer.py"] > breakdown["tnum.py"]
+
+    def test_funcdb_loc_by_subsystem(self):
+        db = build_default_funcdb()
+        by_subsystem = funcdb_loc_by_subsystem(db)
+        assert sum(by_subsystem.values()) == db.total_loc()
+
+
+class TestBugTable:
+    def test_counts_match_paper(self):
+        assert table1_counts() == TABLE1_EXPECTED
+
+    def test_totals(self):
+        assert totals() == (40, 18, 22)
+
+    def test_named_bugs_have_references(self):
+        assert all(b.reference for b in NAMED_BUGS)
+
+    def test_executable_bugs_have_valid_flags(self):
+        flags = set(BugConfig().as_dict())
+        for bug in executable_bugs():
+            assert bug.repro_flag in flags
+
+    def test_every_bugconfig_flag_appears_in_table(self):
+        table_flags = {b.repro_flag for b in executable_bugs()}
+        assert table_flags == set(BugConfig().as_dict())
+
+    def test_components_valid(self):
+        assert all(b.component in ("helper", "verifier")
+                   for b in full_bug_table())
+
+    def test_years_in_window(self):
+        assert all(b.year in (2021, 2022) for b in full_bug_table())
+
+
+class TestSurvey:
+    def test_population_complete(self):
+        survey = run_survey()
+        assert len(survey.rows) == 249
+
+    def test_sixteen_retired(self):
+        survey = run_survey()
+        assert survey.count("retire") == 16
+
+    def test_paper_examples_classified(self):
+        survey = run_survey()
+        by_name = {r.name: r for r in survey.rows}
+        assert by_name["bpf_loop"].classification == "retire"
+        assert by_name["bpf_strtol"].classification == "retire"
+        assert by_name["bpf_sk_lookup_tcp"].classification == \
+            "simplify"
+        assert by_name["bpf_sys_bpf"].classification == "wrap"
+
+    def test_named_helpers_carry_evidence(self):
+        survey = run_survey()
+        by_name = {r.name: r for r in survey.rows}
+        assert by_name["bpf_strtol"].evidence
+        assert by_name["bpf_sys_bpf"].evidence
+
+    def test_class_counts_sum(self):
+        survey = run_survey()
+        assert sum(survey.by_class().values()) == 249

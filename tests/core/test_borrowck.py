@@ -1,0 +1,170 @@
+"""SafeLang borrow checker tests — the ownership rules §3 leans on."""
+
+import pytest
+
+from repro.core.kcrate.api import build_api_table
+from repro.core.lang.borrowck import BorrowChecker
+from repro.core.lang.parser import parse_program
+from repro.core.lang.typecheck import TypeChecker
+from repro.errors import BorrowCheckError
+
+API = build_api_table()
+
+
+def check_body(body: str):
+    program = parse_program(
+        f"fn prog(ctx: XdpCtx) -> i64 {{ {body} }}")
+    TypeChecker(program, API).check()
+    BorrowChecker(program, API).check()
+    return program
+
+
+def expect_error(body: str, needle: str):
+    with pytest.raises(BorrowCheckError) as exc_info:
+        check_body(body)
+    assert needle in str(exc_info.value), str(exc_info.value)
+
+
+SOCK = "match sk_lookup_tcp(1, 2) { Some(s) => { %s }, None => { }, }"
+
+
+class TestMoves:
+    def test_copy_types_freely_reused(self):
+        check_body("let x: u64 = 1; let y = x; let z = x; return 0;")
+
+    def test_resource_moves_on_let(self):
+        expect_error(
+            SOCK % "let t = s; let u = s;" + " return 0;",
+            "moved")
+
+    def test_resource_moves_into_call(self):
+        # consume(s) moves; second use fails
+        program_source = """
+        fn consume(sock: Socket) -> u64 { return 0; }
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(1, 2) {
+                Some(s) => {
+                    consume(s);
+                    let p = s.src_port();
+                },
+                None => { },
+            }
+            return 0;
+        }
+        """
+        program = parse_program(program_source)
+        TypeChecker(program, API).check()
+        with pytest.raises(BorrowCheckError):
+            BorrowChecker(program, API).check()
+
+    def test_method_call_does_not_move(self):
+        check_body(SOCK % "let a = s.src_port(); "
+                   "let b = s.dst_port();" + " return 0;")
+
+    def test_drop_then_use_rejected(self):
+        expect_error(SOCK % "drop(s); let p = s.src_port();" +
+                     " return 0;", "moved")
+
+    def test_double_drop_rejected(self):
+        expect_error(SOCK % "drop(s); drop(s);" + " return 0;",
+                     "moved")
+
+    def test_move_in_some_expr(self):
+        expect_error(SOCK % "let o = Some(s); let p = s.src_port();" +
+                     " return 0;", "moved")
+
+    def test_shared_ref_is_copy(self):
+        check_body("let x = 1; let r = &x; let r2 = r; "
+                   "let r3 = r; return 0;")
+
+
+class TestBorrowRules:
+    def test_two_shared_borrows_ok(self):
+        check_body("let x = 1; let a = &x; let b = &x; return 0;")
+
+    def test_mut_borrow_excludes_shared(self):
+        expect_error("let mut x = 1; let m = &mut x; let s = &x; "
+                     "return 0;", "mutably borrowed")
+
+    def test_shared_excludes_mut(self):
+        expect_error("let mut x = 1; let s = &x; let m = &mut x; "
+                     "return 0;", "already borrowed")
+
+    def test_two_mut_borrows_rejected(self):
+        expect_error("let mut x = 1; let a = &mut x; let b = &mut x; "
+                     "return 0;", "already borrowed")
+
+    def test_borrow_released_at_scope_exit(self):
+        check_body("let mut x = 1; if true { let m = &mut x; } "
+                   "let s = &x; return 0;")
+
+    def test_assign_while_borrowed_rejected(self):
+        expect_error("let mut x = 1; let r = &x; x = 2; return 0;",
+                     "borrowed")
+
+    def test_move_while_borrowed_rejected(self):
+        expect_error(
+            SOCK % "let r = &s; let t = s;" + " return 0;",
+            "borrowed")
+
+    def test_rebinding_releases_old_borrow(self):
+        check_body("let mut x = 1; let mut y = 2; let mut r = &x; "
+                   "r = &y; let m = &mut x; return 0;")
+
+    def test_borrow_of_moved_rejected(self):
+        expect_error(SOCK % "drop(s); let r = &s;" + " return 0;",
+                     "moved")
+
+
+class TestControlFlow:
+    def test_move_in_one_branch_poisons_after(self):
+        source = SOCK % (
+            "if true { drop(s); } else { } let p = s.src_port();")
+        expect_error(source + " return 0;", "moved")
+
+    def test_move_in_both_arms_separately_ok(self):
+        check_body(SOCK % "if true { drop(s); } else { drop(s); }" +
+                   " return 0;")
+
+    def test_move_inside_loop_rejected(self):
+        source = """
+        fn consume(sock: Socket) -> u64 { return 0; }
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(1, 2) {
+                Some(s) => {
+                    for i in 0..3 { consume(s); }
+                },
+                None => { },
+            }
+            return 0;
+        }
+        """
+        program = parse_program(source)
+        TypeChecker(program, API).check()
+        with pytest.raises(BorrowCheckError) as exc_info:
+            BorrowChecker(program, API).check()
+        assert "moved" in str(exc_info.value)
+
+    def test_acquire_and_drop_inside_loop_ok(self):
+        check_body("""
+        for i in 0..3 {
+            match sk_lookup_tcp(1, 2) {
+                Some(s) => { let p = s.src_port(); },
+                None => { },
+            }
+        }
+        return 0;
+        """)
+
+    def test_while_loop_move_rejected(self):
+        source = SOCK % "while true { let t = s; break; }"
+        expect_error(source + " return 0;", "moved")
+
+    def test_match_scrutinee_moves(self):
+        # moving the option itself, then using it again
+        expect_error("""
+        let o = sk_lookup_tcp(1, 2);
+        match o { Some(s) => { }, None => { }, }
+        match o { Some(s) => { }, None => { }, }
+        return 0;
+        """, "moved")

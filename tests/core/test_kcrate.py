@@ -1,0 +1,296 @@
+"""Kernel-crate tests: the safe interface and its RAII guarantees."""
+
+import pytest
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf.loader import BpfSubsystem
+from repro.errors import KernelDeadlock
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def fw(kernel):
+    return SafeExtensionFramework(kernel)
+
+
+def run(fw, source, name="t", maps=None):
+    loaded = fw.install(source, name, maps=maps or [])
+    return fw.run_on_packet(loaded, b"payload")
+
+
+class TestSocketRaii:
+    SOURCE_USE = """
+    fn prog(ctx: XdpCtx) -> i64 {
+        match sk_lookup_tcp(167772161, 443) {
+            Some(s) => { return s.src_port() as i64; },
+            None => { return -1; },
+        }
+        return 0;
+    }
+    """
+
+    def test_reference_released_at_scope_exit(self, fw, kernel):
+        sock = kernel.create_socket(src_ip=0x0A000001, src_port=443)
+        result = run(fw, self.SOURCE_USE)
+        assert result.value == 443
+        assert sock.refs.refcount == 1
+        kernel.refs.assert_no_leaks("safelang:t")
+
+    def test_lookup_miss_is_none(self, fw, kernel):
+        result = run(fw, self.SOURCE_USE)
+        assert result.value == -1
+
+    def test_reqsk_ref_owned_by_handle(self, fw, kernel):
+        """The [35] killer: the handle owns the request-sock reference
+        too, and the destructor drops it — even on the buggy-era
+        kernel where the C helper leaks it."""
+        sock = kernel.create_socket(src_ip=0x0A000001, src_port=443)
+        sock.write_field("state", 12)
+        reqsk = kernel.create_request_sock("pending")
+        sock.pending_reqsk = reqsk
+        run(fw, self.SOURCE_USE)
+        assert reqsk.refs.refcount == 1
+        kernel.refs.assert_no_leaks("safelang:t")
+
+    def test_release_on_early_return(self, fw, kernel):
+        sock = kernel.create_socket(src_ip=0x0A000001, src_port=443)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(167772161, 443) {
+                Some(s) => {
+                    if s.src_port() == 443 { return 1; }
+                    return 2;
+                },
+                None => { },
+            }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 1
+        assert sock.refs.refcount == 1
+
+    def test_release_on_panic(self, fw, kernel):
+        sock = kernel.create_socket(src_ip=0x0A000001, src_port=443)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(167772161, 443) {
+                Some(s) => { panic!("mid-use"); },
+                None => { },
+            }
+            return 0;
+        }
+        """
+        result = run(fw, source)
+        assert result.panicked
+        assert sock.refs.refcount == 1   # trusted cleanup ran
+
+    def test_explicit_drop_releases_early(self, fw, kernel):
+        sock = kernel.create_socket(src_ip=0x0A000001, src_port=443)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(167772161, 443) {
+                Some(s) => { drop(s); return 7; },
+                None => { },
+            }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 7
+        assert sock.refs.refcount == 1
+
+
+class TestSpinGuard:
+    def test_lock_released_by_destructor(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        lock_map = bpf.create_map("array", with_spin_lock=True)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let guard = spin_lock(0);
+            map_update(0, 0, 1);
+            return 0;
+        }
+        """
+        run(fw, source, maps=[lock_map])
+        assert not lock_map.spin_lock.locked
+
+    def test_lock_released_on_watchdog_kill(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        lock_map = bpf.create_map("array", with_spin_lock=True)
+        fw.vm.watchdog_budget_ns = 10_000
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let guard = spin_lock(0);
+            let mut i: u64 = 0;
+            while true { i = i + 1; if i == 0 { break; } }
+            return 0;
+        }
+        """
+        result = run(fw, source, maps=[lock_map])
+        assert result.terminated
+        assert not lock_map.spin_lock.locked  # trusted cleanup
+        assert kernel.healthy
+
+
+class TestTaskApis:
+    def test_current_task_pid(self, fw, kernel):
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            return t.pid() as i64;
+        }
+        """
+        assert run(fw, source).value == kernel.current_task.pid
+
+    def test_task_ref_released(self, fw, kernel):
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            return t.tgid() as i64;
+        }
+        """
+        run(fw, source)
+        assert kernel.current_task.refs.refcount == 1
+
+    def test_task_storage_roundtrip(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        storage = bpf.create_map("task_storage", value_size=8)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            task_storage_set(&t, 0, 123);
+            match task_storage_get(&t, 0) {
+                Some(v) => { return v as i64; },
+                None => { return -1; },
+            }
+            return 0;
+        }
+        """
+        assert run(fw, source, maps=[storage]).value == 123
+
+    def test_task_stack_sum_live(self, fw, kernel):
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            match task_stack_sum(&t, 64) {
+                Some(v) => { return 1; },
+                None => { return 2; },
+            }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 1
+
+    def test_task_stack_sum_freed_is_none(self, fw, kernel):
+        """[34] by construction: freed stack -> honest None, no UAF."""
+        kernel.mem.kfree(kernel.current_task.kernel_stack)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            match task_stack_sum(&t, 64) {
+                Some(v) => { return 1; },
+                None => { return 2; },
+            }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 2
+        assert kernel.healthy
+
+
+class TestWrappedSysBpf:
+    def test_sys_map_update_works(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        hmap = bpf.create_map("hash", key_size=4, value_size=8,
+                              max_entries=4)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            return sys_map_update(0, 7, 4242);
+        }
+        """
+        assert run(fw, source, maps=[hmap]).value == 0
+        import struct
+        assert hmap.read_value(struct.pack("<I", 7)) == \
+            struct.pack("<Q", 4242)
+
+    def test_wrapper_cleans_its_buffers(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        hmap = bpf.create_map("hash", key_size=4, value_size=8,
+                              max_entries=4)
+        before = kernel.mem.live_bytes
+        run(fw, "fn prog(ctx: XdpCtx) -> i64 { "
+                "return sys_map_update(0, 1, 2); }", maps=[hmap])
+        # wrapper temporaries freed; only the map entry remains
+        assert kernel.mem.live_bytes - before < 600
+
+    def test_buggy_kernel_irrelevant(self, kernel):
+        """On the same buggy-era kernel that crashes via bpf_sys_bpf,
+        the wrapped interface is fine — CVE-2022-2785 unrepresentable."""
+        fw = SafeExtensionFramework(kernel)
+        bpf = BpfSubsystem(kernel)   # default = buggy BugConfig
+        hmap = bpf.create_map("hash", key_size=4, value_size=8,
+                              max_entries=4)
+        result = run(fw, "fn prog(ctx: XdpCtx) -> i64 { "
+                         "return sys_map_update(0, 1, 2); }",
+                     maps=[hmap])
+        assert result.value == 0
+        assert kernel.healthy
+
+
+class TestMiscApis:
+    def test_ktime_and_cpu(self, fw, kernel):
+        kernel.clock.advance(5000)
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = ktime_ns();
+            let c = cpu_id();
+            if t >= 5000 && c == 0 { return 1; }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 1
+
+    def test_trace_writes_log(self, fw, kernel):
+        run(fw, 'fn prog(ctx: XdpCtx) -> i64 { trace("mark"); '
+                "return 0; }")
+        assert kernel.log.grep("safelang[t]: mark".replace("[t]",
+                                                           "[t]"))
+
+    def test_prandom_advances(self, fw):
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let a = prandom();
+            let b = prandom();
+            if a == b { return 1; }
+            return 0;
+        }
+        """
+        assert run(fw, source).value == 0
+
+    def test_ringbuf_output(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        run(fw, "fn prog(ctx: XdpCtx) -> i64 { "
+                "return ringbuf_output(0, 77); }", maps=[rb])
+        import struct
+        assert rb.drain() == [struct.pack("<Q", 77)]
+
+    def test_pool_reset_between_runs(self, fw):
+        source = """
+        fn prog(ctx: XdpCtx) -> i64 {
+            let v = vec_new();
+            let mut ok: u64 = 0;
+            for i in 0..64 {
+                if v.push(i) { ok = ok + 1; }
+            }
+            return ok as i64;
+        }
+        """
+        loaded = fw.install(source, "vec")
+        for __ in range(10):
+            # without per-run pool reset the pool would exhaust
+            assert fw.run_on_packet(loaded, b"x").value == 64

@@ -1,0 +1,191 @@
+"""SafeLang lexer and parser tests."""
+
+import pytest
+
+from repro.core.lang import ast
+from repro.core.lang import types as T
+from repro.core.lang.lexer import tokenize
+from repro.core.lang.parser import parse_program
+from repro.errors import LexError, ParseError
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("fn foo let letx")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [("kw", "fn"), ("ident", "foo"),
+                         ("kw", "let"), ("ident", "letx")]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0xff 1_000")
+        assert [t.text for t in tokens[:-1]] == ["42", "0xff", "1_000"]
+
+    def test_string_literal_with_escapes(self):
+        tokens = tokenize(r'"a\n\"b"')
+        assert tokens[0].text == 'a\n"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("== != <= >= && || << >> -> => ..")
+        assert [t.text for t in tokens[:-1]] == \
+            ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+             "=>", ".."]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3 and tokens[2].col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParser:
+    def parse_fn(self, body: str) -> ast.FnDef:
+        program = parse_program(
+            f"fn prog(ctx: XdpCtx) -> i64 {{ {body} }}")
+        return program.functions[0]
+
+    def test_function_signature(self):
+        fn = self.parse_fn("return 0;")
+        assert fn.name == "prog"
+        assert fn.params[0].ty == T.ResourceTy("XdpCtx")
+        assert fn.ret_ty == T.I64
+
+    def test_unit_return_type(self):
+        program = parse_program("fn f() { }")
+        assert program.functions[0].ret_ty == T.UNIT
+
+    def test_let_with_type(self):
+        fn = self.parse_fn("let mut x: u64 = 5; return 0;")
+        let = fn.body[0]
+        assert isinstance(let, ast.Let)
+        assert let.mut and let.declared_ty == T.U64
+
+    def test_ref_types(self):
+        program = parse_program("fn f(a: &u64, b: &mut Task) { }")
+        params = program.functions[0].params
+        assert params[0].ty == T.RefTy(T.U64)
+        assert params[1].ty == T.RefTy(T.ResourceTy("Task"), mut=True)
+
+    def test_option_and_vec_types(self):
+        program = parse_program(
+            "fn f(a: Option<u64>, b: Vec<u64>) { }")
+        params = program.functions[0].params
+        assert params[0].ty == T.OptionTy(T.U64)
+        assert params[1].ty == T.VecTy(T.U64)
+
+    def test_if_else_chain(self):
+        fn = self.parse_fn(
+            "if a == 1 { return 1; } else if a == 2 { return 2; } "
+            "else { return 3; }")
+        top = fn.body[0]
+        assert isinstance(top, ast.If)
+        nested = top.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while_and_for(self):
+        fn = self.parse_fn(
+            "while x < 10 { x = x + 1; } for i in 0..5 { } return 0;")
+        assert isinstance(fn.body[0], ast.While)
+        assert isinstance(fn.body[1], ast.For)
+
+    def test_match_arms(self):
+        fn = self.parse_fn(
+            "match opt { Some(v) => { return v; }, "
+            "None => { return 0; }, }")
+        match = fn.body[0]
+        assert isinstance(match, ast.Match)
+        assert match.some_var == "v"
+
+    def test_match_requires_both_arms(self):
+        with pytest.raises(ParseError):
+            self.parse_fn("match o { Some(v) => { }, Some(w) => { } }")
+
+    def test_operator_precedence(self):
+        fn = self.parse_fn("let x = 1 + 2 * 3; return 0;")
+        add = fn.body[0].value
+        assert isinstance(add, ast.Binary) and add.op == "+"
+        assert isinstance(add.right, ast.Binary) and \
+            add.right.op == "*"
+
+    def test_comparison_precedence(self):
+        fn = self.parse_fn("let b = 1 + 1 == 2; return 0;")
+        cmp = fn.body[0].value
+        assert cmp.op == "=="
+
+    def test_cast_expression(self):
+        fn = self.parse_fn("let x = y as u32; return 0;")
+        assert isinstance(fn.body[0].value, ast.Cast)
+
+    def test_method_call_chain_args(self):
+        fn = self.parse_fn("let x = ctx.load_u8(4); return 0;")
+        call = fn.body[0].value
+        assert isinstance(call, ast.MethodCall)
+        assert call.method == "load_u8"
+        assert len(call.args) == 1
+
+    def test_borrow_expressions(self):
+        fn = self.parse_fn("let r = &x; let m = &mut y; return 0;")
+        assert isinstance(fn.body[0].value, ast.Borrow)
+        assert fn.body[1].value.mut
+
+    def test_deref_assignment(self):
+        fn = self.parse_fn("*r = 5; return 0;")
+        assign = fn.body[0]
+        assert isinstance(assign, ast.Assign) and assign.through_ref
+
+    def test_panic_macro(self):
+        fn = self.parse_fn('panic!("boom"); return 0;')
+        assert isinstance(fn.body[0].expr, ast.Panic)
+        assert fn.body[0].expr.message == "boom"
+
+    def test_some_none_literals(self):
+        fn = self.parse_fn("let a = Some(3); let b: Option<u64> = "
+                           "None; return 0;")
+        assert isinstance(fn.body[0].value, ast.SomeExpr)
+        assert isinstance(fn.body[1].value, ast.NoneLit)
+
+    def test_unsafe_block_parses(self):
+        fn = self.parse_fn("unsafe { } return 0;")
+        assert isinstance(fn.body[0], ast.UnsafeBlock)
+
+    def test_drop_statement(self):
+        fn = self.parse_fn("drop(sock); return 0;")
+        assert isinstance(fn.body[0], ast.DropStmt)
+
+    def test_break_continue(self):
+        fn = self.parse_fn(
+            "while true { break; } while true { continue; } return 0;")
+        assert isinstance(fn.body[0].body[0], ast.Break)
+        assert isinstance(fn.body[1].body[0], ast.Continue)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self.parse_fn("let x = 1 return 0;")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_program("fn f() { if x { }")
+
+    def test_hex_literal(self):
+        fn = self.parse_fn("let x = 0xff; return 0;")
+        assert fn.body[0].value.value == 255
+
+    def test_multiple_functions(self):
+        program = parse_program("fn a() { } fn b() { }")
+        assert [f.name for f in program.functions] == ["a", "b"]
+        assert program.function("b") is program.functions[1]

@@ -1,0 +1,128 @@
+"""Protection-key domain tests (§4: protection from unsafe code)."""
+
+import pytest
+
+from repro.core.runtime.mpk import (
+    MemoryProtectionKeys,
+    PKEY_DEFAULT,
+    PKEY_EXTENSION,
+    PKEY_KCRATE,
+    protect_extension_memory,
+)
+from repro.core.runtime.mempool import MemoryPool
+from repro.errors import ProtectionKeyFault
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def mpk(kernel):
+    return MemoryProtectionKeys(kernel.mem)
+
+
+class TestTagging:
+    def test_untagged_is_default_key(self, kernel, mpk):
+        alloc = kernel.mem.kmalloc(64)
+        assert mpk.pkey_of(alloc) == PKEY_DEFAULT
+
+    def test_tag_and_count(self, kernel, mpk):
+        a = kernel.mem.kmalloc(64)
+        b = kernel.mem.kmalloc(64)
+        mpk.tag(a, PKEY_EXTENSION)
+        mpk.tag(b, PKEY_EXTENSION)
+        assert mpk.tagged_count(PKEY_EXTENSION) == 2
+
+    def test_domain_resolution(self, mpk):
+        assert mpk.domain_for("safelang:filter").name == \
+            "safe-extension"
+        assert mpk.domain_for("kcrate").name == "safe-extension"
+        assert mpk.domain_for("bpf_sys_bpf").name == "unsafe-kernel"
+        assert mpk.domain_for("kernel").name == "unsafe-kernel"
+
+
+class TestWriteProtection:
+    def test_unsafe_write_into_extension_memory_faults(self, kernel,
+                                                       mpk):
+        """The §4 scenario: a stray write from unsafe kernel code into
+        safe-extension memory is caught by the key check."""
+        region = kernel.mem.kmalloc(256, owner="pool:cpu0")
+        mpk.tag(region, PKEY_EXTENSION)
+        with pytest.raises(ProtectionKeyFault) as exc_info:
+            kernel.mem.write(region.base, b"corruption",
+                             source="bpf_sys_bpf")
+        assert exc_info.value.pkey == PKEY_EXTENSION
+        assert mpk.faults
+
+    def test_extension_writes_its_own_memory(self, kernel, mpk):
+        region = kernel.mem.kmalloc(256)
+        mpk.tag(region, PKEY_EXTENSION)
+        kernel.mem.write(region.base, b"fine", source="safelang:ext")
+        assert kernel.mem.read(region.base, 4) == b"fine"
+
+    def test_kcrate_writes_extension_memory(self, kernel, mpk):
+        region = kernel.mem.kmalloc(64)
+        mpk.tag(region, PKEY_EXTENSION)
+        kernel.mem.write(region.base, b"ok", source="kcrate")
+
+    def test_unsafe_code_still_writes_default_memory(self, kernel,
+                                                     mpk):
+        alloc = kernel.mem.kmalloc(64)
+        kernel.mem.write(alloc.base, b"normal", source="kernel")
+
+    def test_reads_never_key_fault(self, kernel, mpk):
+        region = kernel.mem.kmalloc(64)
+        mpk.tag(region, PKEY_EXTENSION)
+        assert kernel.mem.read(region.base, 4,
+                               source="bpf_sys_bpf") == b"\x00" * 4
+
+    def test_disabled_mpk_allows_corruption(self, kernel, mpk):
+        """The ablation: without the keys, the same stray write lands
+        silently — the §4 motivation."""
+        region = kernel.mem.kmalloc(64)
+        mpk.tag(region, PKEY_EXTENSION)
+        mpk.enabled = False
+        kernel.mem.write(region.base, b"corrupted",
+                         source="bpf_sys_bpf")
+        assert kernel.mem.read(region.base, 9) == b"corrupted"
+
+    def test_kcrate_pkey_protected_from_extension_peer(self, kernel,
+                                                       mpk):
+        """Defence in depth: even another *unsafe* path cannot touch
+        kcrate records (cleanup lists etc.)."""
+        record = kernel.mem.kmalloc(64)
+        mpk.tag(record, PKEY_KCRATE)
+        with pytest.raises(ProtectionKeyFault):
+            kernel.mem.write(record.base, b"x", source="bpf:prog")
+
+
+class TestEndToEnd:
+    def test_buggy_helper_cannot_corrupt_extension_pool(self, kernel):
+        """Full scenario: the extension's memory pool is key-tagged;
+        the CVE-2022-2785-style helper path writing through a wild
+        pointer that happens to land in the pool is contained."""
+        mpk = MemoryProtectionKeys(kernel.mem)
+        pool = MemoryPool(kernel, kernel.current_cpu, size=1024)
+        protect_extension_memory(mpk, pool.region)
+
+        with pytest.raises(ProtectionKeyFault):
+            kernel.mem.write_u64(pool.region.base + 128, 0x41414141,
+                                 source="bpf_sys_bpf")
+        # the pool contents survived
+        assert kernel.mem.read_u64(pool.region.base + 128) == 0
+
+    def test_safelang_extension_runs_under_mpk(self, kernel):
+        """The framework keeps functioning with keys armed (its own
+        writes are in-domain)."""
+        from repro.core import SafeExtensionFramework
+        mpk = MemoryProtectionKeys(kernel.mem)
+        framework = SafeExtensionFramework(kernel)
+        protect_extension_memory(mpk, framework.vm.pool.region)
+        loaded = framework.install(
+            "fn prog(ctx: XdpCtx) -> i64 { let v = vec_new(); "
+            "v.push(7); return 0; }", "vecuser")
+        result = framework.run_on_packet(loaded, b"x")
+        assert result.value == 0 and not result.panicked

@@ -1,0 +1,264 @@
+"""Runtime-mechanism tests: watchdog, cleanup, pool, stack guard."""
+
+import pytest
+
+from repro.core.kcrate.resources import KernelResource, VecHandle
+from repro.core.runtime.cleanup import CleanupList
+from repro.core.runtime.mempool import MemoryPool
+from repro.core.runtime.stack import StackGuard
+from repro.core.runtime.watchdog import Watchdog
+from repro.errors import StackOverflow
+from repro.kernel import Kernel
+from repro.kernel.ktime import VirtualClock
+
+
+class TestWatchdog:
+    def test_fires_at_deadline(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100)
+        dog.arm()
+        clock.advance(99)
+        assert not dog.fired
+        clock.advance(1)
+        assert dog.fired
+
+    def test_disarm_stops_firing(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100)
+        dog.arm()
+        dog.disarm()
+        clock.advance(1000)
+        assert not dog.fired
+
+    def test_rearm_resets(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100)
+        dog.arm()
+        clock.advance(150)
+        assert dog.fired
+        dog.disarm()
+        dog.arm()
+        assert not dog.fired
+        clock.advance(50)
+        assert not dog.fired
+
+    def test_remaining_ns(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100)
+        dog.arm()
+        clock.advance(30)
+        assert dog.remaining_ns() == 70
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Watchdog(VirtualClock(), budget_ns=0)
+
+    def test_two_watchdogs_independent(self):
+        clock = VirtualClock()
+        a = Watchdog(clock, budget_ns=50, name="a")
+        b = Watchdog(clock, budget_ns=200, name="b")
+        a.arm()
+        b.arm()
+        clock.advance(100)
+        assert a.fired and not b.fired
+
+
+class TestCleanupList:
+    def make_resource(self, log, name):
+        return KernelResource("test", name,
+                              lambda: log.append(name))
+
+    def test_terminate_runs_destructors_lifo(self):
+        log = []
+        cleanup = CleanupList()
+        for name in ("a", "b", "c"):
+            cleanup.register(self.make_resource(log, name))
+        ran = cleanup.terminate()
+        assert ran == 3
+        assert log == ["c", "b", "a"]
+
+    def test_released_resources_skipped(self):
+        log = []
+        cleanup = CleanupList()
+        res = self.make_resource(log, "a")
+        cleanup.register(res)
+        res.release()
+        assert cleanup.terminate() == 0
+        assert log == ["a"]  # released once, not twice
+
+    def test_release_idempotent(self):
+        log = []
+        res = self.make_resource(log, "a")
+        res.release()
+        res.release()
+        assert log == ["a"]
+
+    def test_live_count(self):
+        cleanup = CleanupList()
+        resources = [self.make_resource([], str(i)) for i in range(3)]
+        for res in resources:
+            cleanup.register(res)
+        resources[0].release()
+        assert cleanup.live_count == 2
+
+    def test_capacity_compacts_released(self):
+        cleanup = CleanupList(capacity=4)
+        for i in range(20):
+            res = self.make_resource([], str(i))
+            cleanup.register(res)
+            res.release()   # scope exit each iteration
+        assert len(cleanup) <= 4
+
+    def test_capacity_exceeded_terminates(self):
+        log = []
+        cleanup = CleanupList(capacity=4)
+        for i in range(4):
+            cleanup.register(self.make_resource(log, str(i)))
+        with pytest.raises(MemoryError):
+            cleanup.register(self.make_resource(log, "overflow"))
+        # the fail-safe released everything already held
+        assert len(log) == 4
+
+    def test_assert_clean(self):
+        cleanup = CleanupList()
+        res = self.make_resource([], "a")
+        cleanup.register(res)
+        with pytest.raises(AssertionError):
+            cleanup.assert_clean()
+        res.release()
+        cleanup.assert_clean()
+
+
+class TestMemoryPool:
+    def test_alloc_within_region(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=1024)
+        block = pool.alloc(100)
+        assert block is not None
+        assert pool.used >= 100
+
+    def test_exhaustion_returns_none(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=128)
+        assert pool.alloc(100) is not None
+        assert pool.alloc(100) is None
+        assert pool.failed_allocs == 1
+
+    def test_reset_frees_all(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=128)
+        pool.alloc(100)
+        pool.reset()
+        assert pool.used == 0
+        assert pool.alloc(100) is not None
+
+    def test_high_water_survives_reset(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=1024)
+        pool.alloc(500)
+        pool.reset()
+        assert pool.high_water >= 500
+
+    def test_region_is_real_kernel_memory(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=256)
+        assert kernel.mem.valid_range(pool.region.base, 256)
+
+    def test_zero_alloc_rejected(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu)
+        assert pool.alloc(0) is None
+
+    def test_vec_backed_by_pool(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=1024)
+        vec = VecHandle(pool, capacity=8)
+        for i in range(8):
+            assert vec.push(i)
+        assert not vec.push(9)   # capacity, not unbounded growth
+        assert vec.get(3) == 3
+        assert vec.get(8) is None
+        assert vec.set(0, 42) and vec.get(0) == 42
+        assert not vec.set(9, 1)
+
+    def test_vec_on_exhausted_pool_has_zero_capacity(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=64)
+        pool.alloc(64)
+        vec = VecHandle(pool, capacity=8)
+        assert vec.capacity == 0
+        assert not vec.push(1)
+
+
+class TestStackGuard:
+    def test_depth_limit(self):
+        guard = StackGuard(max_depth=3, max_bytes=10_000)
+        for __ in range(3):
+            guard.push(10)
+        with pytest.raises(StackOverflow):
+            guard.push(10)
+
+    def test_byte_limit(self):
+        guard = StackGuard(max_depth=100, max_bytes=100)
+        guard.push(60)
+        with pytest.raises(StackOverflow):
+            guard.push(60)
+
+    def test_pop_releases(self):
+        guard = StackGuard(max_depth=2, max_bytes=1000)
+        guard.push(10)
+        guard.push(10)
+        guard.pop(10)
+        guard.push(10)  # fits again
+
+    def test_peak_depth_tracked(self):
+        guard = StackGuard()
+        guard.push(8)
+        guard.push(8)
+        guard.pop(8)
+        assert guard.peak_depth == 2
+
+
+class TestPerExtensionWatchdogBudget:
+    SPIN = """
+    fn prog(ctx: XdpCtx) -> i64 {
+        let mut i: u64 = 0;
+        while true { i = i + 1; if i == 0 { break; } }
+        return 0;
+    }
+    """
+
+    def test_tighter_budget_kills_sooner(self):
+        from repro.core import SafeExtensionFramework
+        kernel = Kernel()
+        framework = SafeExtensionFramework(
+            kernel, watchdog_budget_ns=1_000_000)
+        tight = framework.install(self.SPIN, "tight",
+                                  watchdog_budget_ns=10_000)
+        start = kernel.clock.now_ns
+        result = framework.run_on_packet(tight, b"x")
+        elapsed = kernel.clock.now_ns - start
+        assert result.terminated
+        assert elapsed < 100_000   # killed at ~10us, not 1ms
+
+    def test_default_budget_restored_after_run(self):
+        from repro.core import SafeExtensionFramework
+        kernel = Kernel()
+        framework = SafeExtensionFramework(
+            kernel, watchdog_budget_ns=1_000_000)
+        tight = framework.install(self.SPIN, "tight",
+                                  watchdog_budget_ns=10_000)
+        framework.run_on_packet(tight, b"x")
+        assert framework.vm.watchdog_budget_ns == 1_000_000
+
+    def test_unset_budget_uses_framework_default(self):
+        from repro.core import SafeExtensionFramework
+        kernel = Kernel()
+        framework = SafeExtensionFramework(
+            kernel, watchdog_budget_ns=50_000)
+        loaded = framework.install(self.SPIN, "default")
+        start = kernel.clock.now_ns
+        result = framework.run_on_packet(loaded, b"x")
+        elapsed = kernel.clock.now_ns - start
+        assert result.terminated
+        assert 50_000 <= elapsed < 500_000

@@ -1,0 +1,291 @@
+"""SafeLang type checker tests."""
+
+import pytest
+
+from repro.core.kcrate.api import build_api_table
+from repro.core.lang.parser import parse_program
+from repro.core.lang.typecheck import TypeChecker
+from repro.core.lang.unsafeck import reject_unsafe
+from repro.errors import TypeCheckError, UnsafeCodeError
+
+
+API = build_api_table()
+
+
+def check(source: str):
+    program = parse_program(source)
+    TypeChecker(program, API).check()
+    return program
+
+
+def check_body(body: str):
+    return check(f"fn prog(ctx: XdpCtx) -> i64 {{ {body} }}")
+
+
+def expect_error(body: str, needle: str):
+    with pytest.raises(TypeCheckError) as exc_info:
+        check_body(body)
+    assert needle in str(exc_info.value), str(exc_info.value)
+
+
+class TestBasics:
+    def test_literal_types(self):
+        check_body("let a = 5; let b = true; let c = \"s\"; return 0;")
+
+    def test_literal_adopts_declared_type(self):
+        program = check_body("let a: u64 = 5; return 0;")
+        assert str(program.functions[0].body[0].value.ty) == "u64"
+
+    def test_literal_out_of_range(self):
+        expect_error("let a: u8 = 300; return 0;", "out of range")
+
+    def test_undeclared_name(self):
+        expect_error("return nope;", "undeclared")
+
+    def test_bool_int_mismatch(self):
+        expect_error("let a: u64 = true; return 0;", "mismatch")
+
+    def test_arithmetic_same_types(self):
+        check_body("let a: u64 = 1; let b: u64 = 2; "
+                   "let c = a + b; return 0;")
+
+    def test_mixed_int_types_rejected(self):
+        expect_error("let a: u64 = 1; let b: i64 = 2; "
+                     "let c = a + b; return 0;", "mismatch")
+
+    def test_cast_bridges_int_types(self):
+        check_body("let a: u64 = 1; let b: i64 = 2; "
+                   "let c = a + (b as u64); return 0;")
+
+    def test_cast_non_int_rejected(self):
+        expect_error("let a = true as u64; return 0;",
+                     "integer-to-integer")
+
+    def test_comparison_yields_bool(self):
+        check_body("let b: bool = 1 < 2; return 0;")
+
+    def test_condition_must_be_bool(self):
+        expect_error("if 5 { } return 0;", "mismatch")
+
+    def test_logical_ops_need_bool(self):
+        expect_error("let b = 1 && 2; return 0;", "mismatch")
+
+    def test_unary_minus_signed_only(self):
+        check_body("let a: i64 = 5; let b = -a; return 0;")
+        expect_error("let a: u64 = 5; let b = -a; return 0;",
+                     "signed")
+
+    def test_not_requires_bool(self):
+        expect_error("let b = !5; return 0;", "bool")
+
+
+class TestMutability:
+    def test_assign_to_immutable_rejected(self):
+        expect_error("let x = 1; x = 2; return 0;", "immutable")
+
+    def test_assign_to_mut_ok(self):
+        check_body("let mut x = 1; x = 2; return 0;")
+
+    def test_assignment_type_checked(self):
+        expect_error("let mut x: u64 = 1; x = true; return 0;",
+                     "mismatch")
+
+    def test_assign_undeclared(self):
+        expect_error("y = 2; return 0;", "undeclared")
+
+
+class TestReferences:
+    def test_borrow_type(self):
+        check_body("let x = 1; let r = &x; return 0;")
+
+    def test_mut_borrow_requires_mut_binding(self):
+        expect_error("let x = 1; let r = &mut x; return 0;",
+                     "not declared mut")
+
+    def test_deref_assignment(self):
+        check_body("let mut x: u64 = 1; let r = &mut x; *r = 2; "
+                   "return 0;")
+
+    def test_deref_assignment_needs_mut_ref(self):
+        expect_error("let x: u64 = 1; let r = &x; *r = 2; return 0;",
+                     "&mut")
+
+    def test_deref_read(self):
+        check_body("let x: u64 = 1; let r = &x; let y = *r; return 0;")
+
+    def test_deref_non_reference(self):
+        expect_error("let x = 1; let y = *x; return 0;",
+                     "non-reference")
+
+    def test_auto_deref_in_arithmetic(self):
+        check_body("let x: u64 = 1; let r = &x; "
+                   "let y: u64 = r + 1; return 0;")
+
+
+class TestOptionsAndMatch:
+    def test_match_on_option(self):
+        check_body("match map_lookup(0, 0) { Some(v) => "
+                   "{ return v as i64; }, None => { }, } return 0;")
+
+    def test_match_on_non_option(self):
+        expect_error("let x = 1; match x { Some(v) => { }, "
+                     "None => { }, } return 0;", "Option")
+
+    def test_some_var_typed_as_inner(self):
+        check_body("match map_lookup(0, 0) { Some(v) => "
+                   "{ let w: u64 = v; }, None => { }, } return 0;")
+
+    def test_none_needs_context(self):
+        expect_error("let x = None; return 0;", "infer")
+
+    def test_none_with_declared_option(self):
+        check_body("let x: Option<u64> = None; return 0;")
+
+    def test_some_coercion(self):
+        check_body("let x: Option<u64> = Some(5); return 0;")
+
+
+class TestFunctions:
+    def test_user_function_call(self):
+        check("""
+        fn helper(a: u64) -> u64 { return a + 1; }
+        fn prog(ctx: XdpCtx) -> i64 { return helper(1) as i64; }
+        """)
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(TypeCheckError):
+            check("""
+            fn helper(a: u64) -> u64 { return a; }
+            fn prog(ctx: XdpCtx) -> i64 { return helper() as i64; }
+            """)
+
+    def test_wrong_arg_type(self):
+        with pytest.raises(TypeCheckError):
+            check("""
+            fn helper(a: u64) -> u64 { return a; }
+            fn prog(ctx: XdpCtx) -> i64 {
+                return helper(true) as i64;
+            }
+            """)
+
+    def test_unknown_function(self):
+        expect_error("backdoor(); return 0;", "unknown function")
+
+    def test_shadowing_kcrate_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("fn map_lookup(a: u64) -> u64 { return a; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(TypeCheckError):
+            check("fn f() { } fn f() { }")
+
+    def test_return_type_enforced(self):
+        with pytest.raises(TypeCheckError):
+            check("fn f() -> u64 { return true; }")
+
+    def test_kcrate_fn_signature(self):
+        check_body("let rc: i64 = map_update(0, 1, 2); return rc;")
+
+    def test_kcrate_ref_param(self):
+        check_body("let t = current_task(); "
+                   "let s = task_storage_get(&t, 0); return 0;")
+
+    def test_kcrate_ref_param_wrong_type(self):
+        expect_error("let s = task_storage_get(5, 0); return 0;",
+                     "mismatch")
+
+
+class TestMethods:
+    def test_ctx_methods(self):
+        check_body("let l = ctx.len(); let p = ctx.protocol(); "
+                   "return 0;")
+
+    def test_unknown_method(self):
+        expect_error("ctx.explode(); return 0;", "no method")
+
+    def test_method_arg_types(self):
+        expect_error("ctx.load_u8(true); return 0;", "mismatch")
+
+    def test_str_methods(self):
+        check_body('let s = "42"; match s.parse_i64() '
+                   "{ Some(v) => { return v; }, None => { }, } "
+                   "return 0;")
+
+    def test_vec_methods(self):
+        check_body("let v = vec_new(); v.push(1); "
+                   "let n: u64 = v.len(); return 0;")
+
+    def test_method_on_reference_auto_derefs(self):
+        check("""
+        fn peek(c: &XdpCtx) -> u64 { return c.len(); }
+        fn prog(ctx: XdpCtx) -> i64 { return peek(&ctx) as i64; }
+        """)
+
+
+class TestForLoop:
+    def test_literal_bounds(self):
+        check_body("for i in 0..10 { let x = i + 1; } return 0;")
+
+    def test_bounds_adopt_variable_type(self):
+        check_body("let n: u64 = 5; for i in 0..n "
+                   "{ let x: u64 = i; } return 0;")
+
+    def test_non_int_bounds_rejected(self):
+        expect_error("for i in true..false { } return 0;", "integers")
+
+    def test_loop_var_immutable(self):
+        expect_error("for i in 0..10 { i = 5; } return 0;",
+                     "immutable")
+
+
+class TestUnsafeGate:
+    def test_unsafe_rejected(self):
+        program = parse_program(
+            "fn prog(ctx: XdpCtx) -> i64 { unsafe { } return 0; }")
+        with pytest.raises(UnsafeCodeError):
+            reject_unsafe(program)
+
+    def test_nested_unsafe_rejected(self):
+        program = parse_program(
+            "fn prog(ctx: XdpCtx) -> i64 { if true { unsafe { } } "
+            "return 0; }")
+        with pytest.raises(UnsafeCodeError):
+            reject_unsafe(program)
+
+    def test_safe_program_passes(self):
+        program = parse_program(
+            "fn prog(ctx: XdpCtx) -> i64 { return 0; }")
+        reject_unsafe(program)
+
+
+class TestMissingReturn:
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(TypeCheckError) as exc_info:
+            check("fn f() -> u64 { let x = 1; }")
+        assert "without returning" in str(exc_info.value)
+
+    def test_if_without_else_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("fn f(c: bool) -> u64 { if c { return 1; } }")
+
+    def test_if_else_both_return_ok(self):
+        check("fn f(c: bool) -> u64 { if c { return 1; } "
+              "else { return 2; } }")
+
+    def test_match_both_arms_return_ok(self):
+        check("fn f(o: Option<u64>) -> u64 { match o "
+              "{ Some(v) => { return v; }, None => { return 0; }, } }")
+
+    def test_match_one_arm_missing_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("fn f(o: Option<u64>) -> u64 { match o "
+                  "{ Some(v) => { return v; }, None => { }, } }")
+
+    def test_panic_counts_as_diverging(self):
+        check('fn f() -> u64 { panic!("never returns"); }')
+
+    def test_trailing_return_after_loop_ok(self):
+        check("fn f() -> u64 { for i in 0..3 { } return 0; }")
+
+    def test_unit_function_needs_no_return(self):
+        check("fn f() { let x = 1; }")

@@ -1,0 +1,309 @@
+"""SafeLang execution semantics tests."""
+
+import pytest
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf.loader import BpfSubsystem
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def fw(kernel):
+    return SafeExtensionFramework(kernel)
+
+
+def run(fw, body: str, maps=None, budget_ns=None,
+        full_source: str = None):
+    source = full_source or \
+        f"fn prog(ctx: XdpCtx) -> i64 {{ {body} }}"
+    if budget_ns is not None:
+        fw.vm.watchdog_budget_ns = budget_ns
+    loaded = fw.install(source, "t", maps=maps or [])
+    return fw.run_on_packet(loaded, b"payload!")
+
+
+class TestArithmetic:
+    def test_basic_math(self, fw):
+        assert run(fw, "return 2 + 3 * 4;").value == 14
+
+    def test_signed_division_truncates_toward_zero(self, fw):
+        assert run(fw, "let a: i64 = 0 - 7; return a / 2;").value == -3
+
+    def test_signed_remainder(self, fw):
+        assert run(fw, "let a: i64 = 0 - 7; return a % 2;").value == -1
+
+    def test_unsigned_overflow_panics(self, fw, kernel):
+        result = run(fw, "let x: u64 = 18446744073709551615; "
+                         "return (x + 1) as i64;")
+        assert result.panicked
+        assert "overflow" in result.reason
+        assert kernel.healthy
+
+    def test_signed_overflow_panics(self, fw):
+        result = run(fw, "let x: i64 = 9223372036854775807; "
+                         "return x + 1;")
+        assert result.panicked
+
+    def test_underflow_panics(self, fw):
+        result = run(fw, "let x: u64 = 0; return (x - 1) as i64;")
+        assert result.panicked
+
+    def test_division_by_zero_panics(self, fw):
+        result = run(fw, "let z: u64 = 0; return (5 / z) as i64;")
+        assert result.panicked
+        assert "division" in result.reason
+
+    def test_oversize_shift_panics(self, fw):
+        result = run(fw, "let s: u64 = 64; return (1 << s) as i64;")
+        assert result.panicked
+
+    def test_cast_wraps(self, fw):
+        assert run(fw, "let x: u64 = 300; "
+                       "return (x as u8) as i64;").value == 44
+
+    def test_cast_to_signed(self, fw):
+        assert run(fw, "let x: u64 = 18446744073709551615; "
+                       "let y = x as i64; return y;").value == -1
+
+    def test_bitwise_ops(self, fw):
+        assert run(fw, "let a: u64 = 12; "
+                       "return ((a & 10) | 1) as i64;").value == 9
+
+    def test_explicit_panic_contained(self, fw, kernel):
+        result = run(fw, 'panic!("ouch"); return 0;')
+        assert result.panicked and "ouch" in result.reason
+        assert kernel.healthy
+
+
+class TestControlFlow:
+    def test_if_else(self, fw):
+        assert run(fw, "if 1 < 2 { return 10; } else "
+                       "{ return 20; }").value == 10
+
+    def test_while_loop(self, fw):
+        assert run(fw, "let mut i: u64 = 0; let mut acc: u64 = 0; "
+                       "while i < 10 { acc = acc + i; i = i + 1; } "
+                       "return acc as i64;").value == 45
+
+    def test_for_loop(self, fw):
+        assert run(fw, "let mut acc: u64 = 0; for i in 1..5 "
+                       "{ acc = acc + i; } return acc as i64;"
+                   ).value == 10
+
+    def test_break(self, fw):
+        assert run(fw, "let mut i: u64 = 0; while true "
+                       "{ i = i + 1; if i == 5 { break; } } "
+                       "return i as i64;").value == 5
+
+    def test_continue(self, fw):
+        assert run(fw, "let mut acc: u64 = 0; for i in 0..10 "
+                       "{ if i % 2 == 0 { continue; } "
+                       "acc = acc + i; } return acc as i64;"
+                   ).value == 25
+
+    def test_nested_loops(self, fw):
+        assert run(fw, "let mut acc: u64 = 0; for i in 0..3 "
+                       "{ for j in 0..3 { acc = acc + 1; } } "
+                       "return acc as i64;").value == 9
+
+    def test_empty_for_range(self, fw):
+        assert run(fw, "let mut acc: u64 = 7; for i in 5..5 "
+                       "{ acc = 0; } return acc as i64;").value == 7
+
+    def test_match_some(self, fw):
+        assert run(fw, "let o: Option<u64> = Some(3); match o "
+                       "{ Some(v) => { return v as i64; }, "
+                       "None => { return -1; }, } return 0;"
+                   ).value == 3
+
+    def test_match_none(self, fw):
+        assert run(fw, "let o: Option<u64> = None; match o "
+                       "{ Some(v) => { return 1; }, "
+                       "None => { return 2; }, } return 0;"
+                   ).value == 2
+
+
+class TestFunctions:
+    def test_user_function(self, fw):
+        source = """
+        fn double(x: u64) -> u64 { return x * 2; }
+        fn prog(ctx: XdpCtx) -> i64 { return double(21) as i64; }
+        """
+        assert run(fw, "", full_source=source).value == 42
+
+    def test_bounded_recursion(self, fw):
+        source = """
+        fn fib(n: u64) -> u64 {
+            if n < 2 { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn prog(ctx: XdpCtx) -> i64 { return fib(10) as i64; }
+        """
+        assert run(fw, "", full_source=source).value == 55
+
+    def test_references_through_functions(self, fw):
+        source = """
+        fn bump(x: &mut u64) {
+            *x = *x + 1;
+        }
+        fn prog(ctx: XdpCtx) -> i64 {
+            let mut n: u64 = 41;
+            bump(&mut n);
+            return n as i64;
+        }
+        """
+        assert run(fw, "", full_source=source).value == 42
+
+    def test_ctx_methods(self, fw):
+        assert run(fw, "return ctx.len() as i64;").value == 8
+
+    def test_ctx_load_in_bounds(self, fw):
+        # payload "payload!"[0] = 'p' = 112
+        assert run(fw, "match ctx.load_u8(0) { Some(b) => "
+                       "{ return b as i64; }, None => "
+                       "{ return -1; }, } return 0;").value == 112
+
+    def test_ctx_load_out_of_bounds_is_none(self, fw):
+        assert run(fw, "match ctx.load_u8(100) { Some(b) => "
+                       "{ return 1; }, None => { return 2; }, } "
+                       "return 0;").value == 2
+
+    def test_string_parse(self, fw):
+        assert run(fw, 'let s = "-77"; match s.parse_i64() '
+                       "{ Some(v) => { return v; }, None => "
+                       "{ return 0; }, } return 0;").value == -77
+
+    def test_vec_operations(self, fw):
+        body = """
+        let v = vec_new();
+        v.push(10);
+        v.push(20);
+        match v.get(1) {
+            Some(x) => { return x as i64; },
+            None => { return -1; },
+        }
+        return 0;
+        """
+        assert run(fw, body).value == 20
+
+    def test_vec_out_of_bounds_is_none(self, fw):
+        body = """
+        let v = vec_new();
+        v.push(1);
+        match v.get(5) {
+            Some(x) => { return 1; },
+            None => { return 2; },
+        }
+        return 0;
+        """
+        assert run(fw, body).value == 2
+
+
+class TestMapsFromSafeLang:
+    def test_lookup_update(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=4)
+        body = """
+        map_update(0, 2, 99);
+        match map_lookup(0, 2) {
+            Some(v) => { return v as i64; },
+            None => { return -1; },
+        }
+        return 0;
+        """
+        assert run(fw, body, maps=[amap]).value == 99
+
+    def test_out_of_range_index_is_none(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=4)
+        body = """
+        match map_lookup(0, 100) {
+            Some(v) => { return 1; },
+            None => { return 2; },
+        }
+        return 0;
+        """
+        assert run(fw, body, maps=[amap]).value == 2
+
+    def test_unbound_map_slot_panics(self, fw):
+        result = run(fw, "map_update(5, 0, 1); return 0;")
+        assert result.panicked
+        assert "unbound" in result.reason
+
+    def test_array_index_math_full_precision(self, fw, kernel):
+        """The §3.2 integer-move: even on a buggy-era kernel the
+        kcrate's safe index computation never wraps."""
+        bpf = BpfSubsystem(kernel)   # buggy-era BugConfig
+        amap = bpf.create_map("array", key_size=4, value_size=64,
+                              max_entries=4)
+        body = """
+        match map_lookup(0, 67108864) {  // 2**26: wraps in buggy C
+            Some(v) => { return 1; },    // would alias element 0
+            None => { return 2; },       // honest out-of-range
+        }
+        return 0;
+        """
+        assert run(fw, body, maps=[amap]).value == 2
+
+
+class TestOptionCombinators:
+    def test_unwrap_or_some(self, fw):
+        assert run(fw, "let o: Option<u64> = Some(5); "
+                       "return o.unwrap_or(9) as i64;").value == 5
+
+    def test_unwrap_or_none(self, fw):
+        assert run(fw, "let o: Option<u64> = None; "
+                       "return o.unwrap_or(9) as i64;").value == 9
+
+    def test_is_some_is_none(self, fw):
+        body = """
+        let a: Option<u64> = Some(1);
+        let b: Option<u64> = None;
+        if a.is_some() && b.is_none() { return 1; }
+        return 0;
+        """
+        assert run(fw, body).value == 1
+
+    def test_unwrap_or_on_kcrate_result(self, fw, kernel):
+        bpf = BpfSubsystem(kernel)
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=4)
+        body = """
+        map_update(0, 1, 41);
+        let v = map_lookup(0, 1).unwrap_or(0);
+        let miss = map_lookup(0, 3).unwrap_or(100);
+        return (v + miss + 1) as i64;
+        """
+        # note: array values default to 0, so slot 3 is Some(0)
+        assert run(fw, body, maps=[amap]).value == 42
+
+    def test_unwrap_or_resource_rejected(self, fw):
+        from repro.errors import TypeCheckError
+        import pytest as _pytest
+        with _pytest.raises(TypeCheckError):
+            run(fw, "let s = sk_lookup_tcp(1, 2).unwrap_or(0); "
+                    "return 0;")
+
+    def test_option_unknown_method(self, fw):
+        from repro.errors import TypeCheckError
+        import pytest as _pytest
+        with _pytest.raises(TypeCheckError):
+            run(fw, "let o: Option<u64> = None; o.expect(); "
+                    "return 0;")
+
+
+class TestStringEquality:
+    def test_str_eq(self, fw):
+        assert run(fw, 'let a = "xdp"; if a == "xdp" { return 1; } '
+                       "return 0;").value == 1
+
+    def test_str_ne(self, fw):
+        assert run(fw, 'let a = "xdp"; if a != "tc" { return 1; } '
+                       "return 0;").value == 1

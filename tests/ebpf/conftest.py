@@ -1,0 +1,33 @@
+"""Shared fixtures for eBPF-layer tests."""
+
+import pytest
+
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.loader import BpfSubsystem
+from repro.ebpf.progs import ProgType
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def bpf(kernel):
+    """Buggy-era subsystem (paper defaults)."""
+    return BpfSubsystem(kernel)
+
+
+@pytest.fixture
+def patched_bpf(kernel):
+    """Subsystem with every modeled bug fixed."""
+    return BpfSubsystem(kernel, bugs=BugConfig.all_patched())
+
+
+@pytest.fixture
+def load(bpf):
+    """Load a program list as KPROBE (most permissive ret range)."""
+    def _load(program, prog_type=ProgType.KPROBE, **kwargs):
+        return bpf.load_program(program, prog_type, "test", **kwargs)
+    return _load

@@ -1,0 +1,184 @@
+"""Text assembler tests, including disassembly round-trips."""
+
+import pytest
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.asm_text import assemble_text
+from repro.ebpf.disasm import disasm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R10
+from repro.ebpf.progs import ProgType
+from repro.errors import InvalidProgram
+
+
+class TestTextAssembly:
+    def test_minimal(self):
+        program = assemble_text("r0 = 0\nexit")
+        assert len(program) == 2
+
+    def test_comments_and_blanks(self):
+        program = assemble_text("""
+            ; a comment
+            r0 = 0     ; trailing comment
+
+            exit
+        """)
+        assert len(program) == 2
+
+    def test_alu_forms(self):
+        program = assemble_text("""
+            r0 = 10
+            r1 = 3
+            r0 += r1
+            r0 -= 1
+            r0 *= 2
+            r0 &= 0xff
+            r0 >>= 1
+            r0 s>>= 1
+            exit
+        """)
+        assert len(program) == 9
+
+    def test_memory_forms(self):
+        program = assemble_text("""
+            *(u64 *)(r10 -8) = 42
+            r0 = *(u64 *)(r10 -8)
+            *(u8 *)(r10 -16) = r0
+            exit
+        """)
+        assert len(program) == 4
+
+    def test_labels_and_jumps(self):
+        program = assemble_text("""
+            r0 = 0
+            if r1 != 0 goto nonzero
+            exit
+        nonzero:
+            r0 = 1
+            exit
+        """)
+        assert program[1].off == 1
+
+    def test_relative_jump(self):
+        program = assemble_text("""
+            if r1 == 0 goto +1
+            r0 = 1
+            r0 = 0
+            exit
+        """)
+        assert program[0].off == 1
+
+    def test_ld64_and_map(self):
+        program = assemble_text("""
+            r1 = 0xdeadbeefcafef00d ll
+            r2 = map_fd[3]
+            r0 = 0
+            exit
+        """)
+        assert len(program) == 6  # two 2-slot loads
+
+    def test_call_and_negation(self):
+        program = assemble_text("""
+            call helper#14
+            r0 = -r0
+            exit
+        """)
+        assert program[0].imm == 14
+
+    def test_unparseable_line(self):
+        with pytest.raises(InvalidProgram):
+            assemble_text("r0 <- 5\nexit")
+
+    def test_misplaced_negation(self):
+        with pytest.raises(InvalidProgram):
+            assemble_text("r0 = -r1\nexit")
+
+
+class TestRoundTrip:
+    def build_reference(self):
+        return (Asm()
+                .mov64_imm(R0, 0)
+                .st_imm(8, R10, -8, 7)
+                .ldx(8, R2, R10, -8)
+                .alu64_imm("add", R2, 5)
+                .alu64_reg("add", R0, R2)
+                .jmp_imm("jgt", R0, 100, 1)
+                .alu64_imm("and", R0, 0)
+                .exit_()
+                .program())
+
+    def test_disasm_reassembles(self):
+        reference = self.build_reference()
+        text = disasm(reference)
+        rebuilt = assemble_text(text)
+        assert rebuilt == reference
+
+    def test_text_program_verifies_and_runs(self, bpf):
+        program = assemble_text("""
+            r0 = 40
+            r1 = 2
+            r0 += r1
+            exit
+        """)
+        prog = bpf.load_program(program, ProgType.KPROBE, "text")
+        assert bpf.run_on_current_task(prog) == 42
+
+    def test_text_program_with_helper(self, bpf, kernel):
+        program = assemble_text(f"""
+            call helper#{ids.BPF_FUNC_get_current_pid_tgid}
+            exit
+        """)
+        prog = bpf.load_program(program, ProgType.KPROBE, "text")
+        task = kernel.current_task
+        assert bpf.run_on_current_task(prog) == \
+            (task.tgid << 32) | task.pid
+
+
+class TestAtomicAndJmp32Text:
+    def test_atomic_roundtrip(self):
+        reference = (Asm()
+                     .st_imm(8, R10, -8, 1)
+                     .mov64_imm(R2, 2)
+                     .atomic_add(8, R10, -8, R2)
+                     .mov64_imm(R0, 0)
+                     .exit_()
+                     .program())
+        text = disasm(reference)
+        assert "lock *(u64 *)(r10 -8) += r2" in text
+        assert assemble_text(text) == reference
+
+    def test_jmp32_roundtrip(self):
+        reference = (Asm()
+                     .mov64_imm(R2, 5)
+                     .jmp32_imm("jeq", R2, 5, 1)
+                     .mov64_imm(R0, 1)
+                     .mov64_imm(R0, 0)
+                     .exit_()
+                     .program())
+        text = disasm(reference)
+        assert "if w2 == 5 goto +1" in text
+        assert assemble_text(text) == reference
+
+    def test_jmp32_reg_roundtrip(self):
+        reference = (Asm()
+                     .mov64_imm(R1, 5)
+                     .mov64_imm(R2, 5)
+                     .jmp32_reg("jne", R1, R2, 1)
+                     .mov64_imm(R0, 1)
+                     .mov64_imm(R0, 0)
+                     .exit_()
+                     .program())
+        text = disasm(reference)
+        assert "if w1 != w2 goto +1" in text
+        assert assemble_text(text) == reference
+
+    def test_subprog_call_disasm(self):
+        program = (Asm()
+                   .mov64_imm(R1, 1)
+                   .call_subprog("f")
+                   .exit_()
+                   .label("f")
+                   .mov64_reg(R0, R1)
+                   .exit_()
+                   .program())
+        assert "call subprog+1" in disasm(program)

@@ -1,0 +1,278 @@
+"""BPF_ATOMIC (XADD) and JMP32 tests."""
+
+import struct
+
+import pytest
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R10
+from repro.ebpf.progs import ProgType
+from repro.errors import VerifierError
+
+
+def expect_reject(load, program, needle, **kwargs):
+    with pytest.raises(VerifierError) as exc_info:
+        load(program, **kwargs)
+    assert needle in str(exc_info.value), str(exc_info.value)
+
+
+class TestAtomicVerifier:
+    def test_xadd_on_stack_ok(self, load):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 5)
+                   .mov64_imm(R2, 3)
+                   .atomic_add(8, R10, -8, R2)
+                   .ldx(8, R0, R10, -8)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        load(program)
+
+    def test_xadd_on_map_value_ok(self, bpf):
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "have")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("have")
+                   .mov64_imm(R2, 1)
+                   .atomic_add(8, R0, 0, R2)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")
+
+    def test_xadd_on_uninitialized_stack_rejected(self, load):
+        program = (Asm()
+                   .mov64_imm(R2, 3)
+                   .atomic_add(8, R10, -8, R2)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "uninitialized")
+
+    def test_xadd_of_pointer_rejected(self, load):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 0)
+                   .atomic_add(8, R10, -8, R10)   # add fp?!
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "pointer")
+
+    def test_xadd_out_of_bounds_rejected(self, bpf):
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "have")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("have")
+                   .mov64_imm(R2, 1)
+                   .atomic_add(8, R0, 8, R2)     # off 8 + 8 > 8
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierError):
+            bpf.load_program(program, ProgType.KPROBE, "t")
+
+
+class TestAtomicInterpreter:
+    def test_xadd_executes(self, bpf):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 40)
+                   .mov64_imm(R2, 2)
+                   .atomic_add(8, R10, -8, R2)
+                   .ldx(8, R0, R10, -8)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 42
+
+    def test_xadd_4byte_wraps(self, bpf):
+        program = (Asm()
+                   .st_imm(4, R10, -8, -1)    # 0xFFFFFFFF
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_imm(R2, 1)
+                   .atomic_add(4, R10, -8, R2)
+                   .ldx(8, R0, R10, -8)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 0  # wrapped in place
+
+    def test_concurrent_counter_pattern(self, bpf):
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "have")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("have")
+                   .mov64_imm(R2, 1)
+                   .atomic_add(8, R0, 0, R2)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        for __ in range(5):
+            bpf.run_on_current_task(prog)
+        assert struct.unpack("<Q", amap.read_value(0))[0] == 5
+
+
+class TestJmp32:
+    def test_const_decision(self, load):
+        # 0x1_0000_0001 compared as 32-bit == 1
+        program = (Asm()
+                   .ld_imm64(R2, 0x1_0000_0001)
+                   .jmp32_imm("jeq", R2, 1, "yes")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("yes")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        load(program)
+
+    def test_jmp32_runtime_masks_high_bits(self, bpf):
+        program = (Asm()
+                   .ld_imm64(R2, 0x1_0000_0001)
+                   .jmp32_imm("jeq", R2, 1, "yes")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("yes")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 1
+
+    def test_jmp64_would_differ(self, bpf):
+        program = (Asm()
+                   .ld_imm64(R2, 0x1_0000_0001)
+                   .jmp_imm("jeq", R2, 1, "yes")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("yes")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 0
+
+    def test_jmp32_signed_comparison(self, bpf):
+        # low 32 bits 0xFFFFFFFF are -1 as s32
+        program = (Asm()
+                   .ld_imm64(R2, 0xFFFF_FFFF)
+                   .jmp32_imm("jslt", R2, 0, "neg")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("neg")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 1
+
+    def test_jmp32_on_pointer_rejected(self, load):
+        program = (Asm()
+                   .jmp32_imm("jeq", R10, 0, "x")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("x")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "pointer")
+
+    def test_jmp32_reg_form(self, bpf):
+        program = (Asm()
+                   .ld_imm64(R2, 0x1_0000_0005)
+                   .mov64_imm(R3, 5)
+                   .jmp32_reg("jeq", R2, R3, "yes")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("yes")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 1
+
+    def test_jmp32_unknown_operands_fork(self, load):
+        # both sides must verify
+        program = (Asm()
+                   .ldx(8, R2, R1, 0)
+                   .jmp32_imm("jgt", R2, 100, "big")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("big")
+                   .mov64_imm(R0, 1)
+                   .exit_()
+                   .program())
+        load(program)
+
+
+class TestJmp32Refinement:
+    def test_jmp32_refines_small_ranges(self, bpf):
+        """When operands provably fit in the positive 32-bit range,
+        jmp32 refinement is as precise as the 64-bit one — enough to
+        prove a variable map offset in bounds."""
+        from repro.ebpf.helpers import ids
+        amap = bpf.create_map("array", key_size=4, value_size=16,
+                              max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "have")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("have")
+                   .ldx(8, R3, R0, 0)
+                   .alu32_reg("mov", R3, R3)       # r3 fits in 32 bits
+                   .alu64_imm("and", R3, 0x7fffffff)
+                   .jmp32_imm("jgt", R3, 7, "out")  # 32-bit bound check
+                   .alu64_reg("add", R0, R3)        # off <= 7
+                   .st_imm(8, R0, 0, 1)             # 7 + 8 <= 16
+                   .label("out")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")
+
+    def test_jmp32_no_refinement_with_high_bits(self, bpf):
+        """With possible high bits the 32- and 64-bit orders diverge,
+        so no refinement happens and the access must be rejected."""
+        from repro.ebpf.helpers import ids
+        amap = bpf.create_map("array", key_size=4, value_size=16,
+                              max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "have")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("have")
+                   .ldx(8, R3, R0, 0)               # full 64 bits
+                   .jmp32_imm("jgt", R3, 7, "out")  # only bounds w-reg!
+                   .alu64_reg("add", R0, R3)        # 64-bit off unbounded
+                   .st_imm(8, R0, 0, 1)
+                   .label("out")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierError):
+            bpf.load_program(program, ProgType.KPROBE, "t")

@@ -1,0 +1,354 @@
+"""Bytecode VM tests: concrete execution semantics."""
+
+import struct
+
+import pytest
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R6, R10
+from repro.ebpf.progs import ProgType
+from repro.errors import BpfRuntimeError
+from repro.kernel import Kernel
+
+
+def run_alu(bpf, build):
+    """Load + run a program returning r0."""
+    asm = Asm()
+    build(asm)
+    asm.exit_()
+    prog = bpf.load_program(asm.program(), ProgType.KPROBE, "t")
+    return bpf.run_on_current_task(prog)
+
+
+class TestAluSemantics:
+    def test_add_wraps_u64(self, bpf):
+        def build(asm):
+            asm.ld_imm64(R0, (1 << 64) - 1).alu64_imm("add", R0, 2)
+        assert run_alu(bpf, build) == 1
+
+    def test_sub_negative_wraps(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, 3).alu64_imm("sub", R0, 5)
+        assert run_alu(bpf, build) == (1 << 64) - 2
+
+    def test_mul(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, 7).alu64_imm("mul", R0, 6)
+        assert run_alu(bpf, build) == 42
+
+    def test_div_unsigned(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, -10).alu64_imm("div", R0, 2)
+        # -10 as u64 / 2
+        assert run_alu(bpf, build) == ((1 << 64) - 10) // 2
+
+    def test_div_by_zero_reg_yields_zero(self, bpf):
+        def build(asm):
+            (asm.mov64_imm(R0, 100)
+                .mov64_imm(R2, 0)
+                .alu64_reg("div", R0, R2))
+        assert run_alu(bpf, build) == 0
+
+    def test_mod_by_zero_reg_keeps_dst(self, bpf):
+        def build(asm):
+            (asm.mov64_imm(R0, 100)
+                .mov64_imm(R2, 0)
+                .alu64_reg("mod", R0, R2))
+        assert run_alu(bpf, build) == 100
+
+    def test_alu32_truncates(self, bpf):
+        def build(asm):
+            (asm.ld_imm64(R0, 0x1_0000_0005)
+                .alu32_imm("add", R0, 0))
+        assert run_alu(bpf, build) == 5
+
+    def test_arsh_sign_extends(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, -8).alu64_imm("arsh", R0, 1)
+        assert run_alu(bpf, build) == (1 << 64) - 4
+
+    def test_neg(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, 5).neg64(R0)
+        assert run_alu(bpf, build) == (1 << 64) - 5
+
+    def test_bitops(self, bpf):
+        def build(asm):
+            (asm.mov64_imm(R0, 0b1100)
+                .alu64_imm("and", R0, 0b1010)
+                .alu64_imm("or", R0, 0b0001)
+                .alu64_imm("xor", R0, 0b1111))
+        assert run_alu(bpf, build) == 0b0110
+
+    def test_imm_sign_extended_to_64(self, bpf):
+        def build(asm):
+            asm.mov64_imm(R0, -1)
+        assert run_alu(bpf, build) == (1 << 64) - 1
+
+    def test_ld_imm64_full_width(self, bpf):
+        def build(asm):
+            asm.ld_imm64(R0, 0xDEADBEEFCAFEF00D)
+        assert run_alu(bpf, build) == 0xDEADBEEFCAFEF00D
+
+
+class TestJumps:
+    def test_unsigned_vs_signed_comparison(self, bpf):
+        # -1 as u64 is huge: jgt takes it; jsgt must not
+        def build(asm):
+            (asm.mov64_imm(R2, -1)
+                .mov64_imm(R0, 0)
+                .jmp_imm("jgt", R2, 5, "ugt")
+                .ja("end")
+                .label("ugt")
+                .alu64_imm("add", R0, 1)
+                .jmp_imm("jsgt", R2, 5, "sgt")
+                .ja("end")
+                .label("sgt")
+                .alu64_imm("add", R0, 2)
+                .label("end"))
+        assert run_alu(bpf, build) == 1
+
+    def test_jset(self, bpf):
+        def build(asm):
+            (asm.mov64_imm(R2, 0b100)
+                .mov64_imm(R0, 0)
+                .jmp_imm("jset", R2, 0b110, "hit")
+                .ja("end")
+                .label("hit")
+                .mov64_imm(R0, 1)
+                .label("end"))
+        assert run_alu(bpf, build) == 1
+
+
+class TestMemoryAndStack:
+    def test_stack_roundtrip(self, bpf):
+        def build(asm):
+            (asm.st_imm(8, R10, -8, 0x11223344)
+                .ldx(8, R0, R10, -8))
+        assert run_alu(bpf, build) == 0x11223344
+
+    def test_byte_granularity(self, bpf):
+        def build(asm):
+            (asm.st_imm(8, R10, -8, 0)
+                .st_imm(1, R10, -8, 0xAB)
+                .st_imm(1, R10, -7, 0xCD)
+                .ldx(2, R0, R10, -8))
+        assert run_alu(bpf, build) == 0xCDAB
+
+    def test_stack_freed_after_run(self, bpf, kernel):
+        prog = bpf.load_program(
+            Asm().mov64_imm(R0, 0).exit_().program(),
+            ProgType.KPROBE, "t")
+        ctx = kernel.mem.kmalloc(64, type_name="pt_regs")
+        bpf.vm.run(prog, ctx.base)
+        before = kernel.mem.live_bytes
+        bpf.vm.run(prog, ctx.base)   # per-run stack must be freed
+        assert kernel.mem.live_bytes == before
+
+    def test_ctx_reads_real_object(self, bpf, kernel):
+        program = (Asm()
+                   .ldx(4, R0, R1, 0)    # skb->len
+                   .mov64_imm(R0, 2)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.XDP, "t")
+        assert bpf.run_on_packet(prog, b"hello") == 2
+
+    def test_packet_bytes_readable(self, bpf):
+        prog2 = bpf.load_program(
+            (Asm()
+             .ldx(8, R2, R1, 8)
+             .ldx(8, R3, R1, 16)
+             .mov64_reg(R6, R2).alu64_imm("add", R6, 1)
+             .jmp_reg("jgt", R6, R3, "out")
+             .ldx(1, R0, R2, 0)
+             .alu64_imm("and", R0, 3)
+             .exit_()
+             .label("out")
+             .mov64_imm(R0, 0)
+             .exit_()
+             .program()), ProgType.XDP, "t2")
+        assert bpf.run_on_packet(prog2, b"Q") == 0x51 & 3
+
+
+class TestCallsAndTailCalls:
+    def test_subprog_returns_value(self, bpf):
+        program = (Asm()
+                   .mov64_imm(R1, 40)
+                   .mov64_imm(R2, 2)
+                   .call_subprog("add")
+                   .exit_()
+                   .label("add")
+                   .mov64_reg(R0, R1)
+                   .alu64_reg("add", R0, R2)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 42
+
+    def test_tail_call_switches_program(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        target = bpf.load_program(
+            Asm().mov64_imm(R0, 777).exit_().program(),
+            ProgType.KPROBE, "target")
+        pa.set_prog(0, target)
+        caller = bpf.load_program(
+            (Asm()
+             .mov64_reg(R6, R1)
+             .mov64_reg(R1, R6)
+             .ld_map_fd(R2, pa.map_fd)
+             .mov64_imm(R3, 0)
+             .call(ids.BPF_FUNC_tail_call)
+             .mov64_imm(R0, 1)     # only on tail-call failure
+             .exit_()
+             .program()), ProgType.KPROBE, "caller")
+        assert bpf.run_on_current_task(caller) == 777
+
+    def test_tail_call_missing_slot_falls_through(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        caller = bpf.load_program(
+            (Asm()
+             .mov64_reg(R6, R1)
+             .mov64_reg(R1, R6)
+             .ld_map_fd(R2, pa.map_fd)
+             .mov64_imm(R3, 2)
+             .call(ids.BPF_FUNC_tail_call)
+             .mov64_imm(R0, 1)
+             .exit_()
+             .program()), ProgType.KPROBE, "caller")
+        assert bpf.run_on_current_task(caller) == 1
+
+    def test_tail_call_chain_limited(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        looper = bpf.load_program(
+            (Asm()
+             .mov64_reg(R6, R1)
+             .mov64_reg(R1, R6)
+             .ld_map_fd(R2, pa.map_fd)
+             .mov64_imm(R3, 0)
+             .call(ids.BPF_FUNC_tail_call)
+             .mov64_imm(R0, 0)
+             .exit_()
+             .program()), ProgType.KPROBE, "looper")
+        pa.set_prog(0, looper)   # calls itself forever
+        with pytest.raises(BpfRuntimeError):
+            bpf.run_on_current_task(looper)
+
+
+class TestExecutionEnvironment:
+    def test_runs_under_rcu_lock(self, bpf, kernel):
+        observed = []
+        program = Asm().mov64_imm(R0, 0).exit_().program()
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        original = kernel.rcu.read_lock
+
+        def spy(holder="kernel"):
+            observed.append(holder)
+            original(holder)
+        kernel.rcu.read_lock = spy
+        bpf.run_on_current_task(prog)
+        assert any("bpf:" in h for h in observed)
+
+    def test_rcu_released_after_run(self, bpf, kernel):
+        prog = bpf.load_program(
+            Asm().mov64_imm(R0, 0).exit_().program(),
+            ProgType.KPROBE, "t")
+        bpf.run_on_current_task(prog)
+        assert not kernel.rcu.read_lock_held
+
+    def test_rcu_released_even_on_crash(self, bpf, kernel):
+        from repro.ebpf.loader import LoadedProgram
+        from repro.errors import MemoryFault
+        # hand-build an unverified program (modeling a verifier bug)
+        program = (Asm()
+                   .ld_imm64(R1, 0xFFFF_8880_DEAD_0000)
+                   .ldx(8, R0, R1, 0)
+                   .exit_()
+                   .program())
+        prog = LoadedProgram(prog_id=99, name="rogue",
+                             prog_type=ProgType.KPROBE,
+                             insns=program, verifier_stats=None)
+        with pytest.raises(MemoryFault):
+            bpf.vm.run(prog, kernel.current_task.address)
+        assert not kernel.rcu.read_lock_held
+
+    def test_instructions_charge_virtual_time(self, bpf, kernel):
+        prog = bpf.load_program(
+            Asm().mov64_imm(R0, 0).exit_().program(),
+            ProgType.KPROBE, "t")
+        before = kernel.clock.now_ns
+        bpf.run_on_current_task(prog)
+        assert kernel.clock.now_ns > before
+
+    def test_prandom_deterministic(self, bpf):
+        program = (Asm()
+                   .call(ids.BPF_FUNC_get_prandom_u32)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        first = bpf.run_on_current_task(prog)
+        second = bpf.run_on_current_task(prog)
+        assert first != second  # state advances
+
+    def test_smp_processor_id(self, bpf):
+        program = (Asm()
+                   .call(ids.BPF_FUNC_get_smp_processor_id)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "t")
+        assert bpf.run_on_current_task(prog) == 0
+
+
+class TestLoopFastForward:
+    def loop_prog(self, bpf, nr):
+        return bpf.load_program(
+            (Asm()
+             .mov64_imm(R1, nr)
+             .ld_func(R2, "cb")
+             .mov64_imm(R3, 0)
+             .mov64_imm(R4, 0)
+             .call(ids.BPF_FUNC_loop)
+             .exit_()
+             .label("cb")
+             .mov64_imm(R0, 0)
+             .exit_()
+             .program()), ProgType.KPROBE, f"loop{nr}")
+
+    def test_small_loop_fully_concrete(self, bpf):
+        prog = self.loop_prog(bpf, 10)
+        assert bpf.run_on_current_task(prog) == 10
+
+    def test_large_loop_fast_forwarded(self, bpf, kernel):
+        bpf.vm.loop_sample_limit = 16
+        prog = self.loop_prog(bpf, 1_000_000)
+        before = kernel.clock.now_ns
+        assert bpf.run_on_current_task(prog) == 1_000_000
+        elapsed = kernel.clock.now_ns - before
+        # virtual time reflects all million iterations
+        assert elapsed > 1_000_000
+
+    def test_fast_forward_linear_in_nr(self, bpf, kernel):
+        bpf.vm.loop_sample_limit = 16
+        times = []
+        for nr in (10_000, 100_000):
+            start = kernel.clock.now_ns
+            bpf.run_on_current_task(self.loop_prog(bpf, nr))
+            times.append(kernel.clock.now_ns - start)
+        ratio = times[1] / times[0]
+        assert 8 <= ratio <= 12
+
+    def test_early_exit_callback(self, bpf):
+        prog = bpf.load_program(
+            (Asm()
+             .mov64_imm(R1, 1_000_000)
+             .ld_func(R2, "cb")
+             .mov64_imm(R3, 0)
+             .mov64_imm(R4, 0)
+             .call(ids.BPF_FUNC_loop)
+             .exit_()
+             .label("cb")
+             .mov64_imm(R0, 1)    # stop immediately
+             .exit_()
+             .program()), ProgType.KPROBE, "stop")
+        assert bpf.run_on_current_task(prog) == 1

@@ -1,0 +1,176 @@
+"""ISA encoding and assembler tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ebpf import isa
+from repro.ebpf.asm import Asm
+from repro.ebpf.disasm import disasm, disasm_insn
+from repro.ebpf.isa import Insn, sign_extend, to_s64, to_u64
+from repro.ebpf.isa import R0, R1, R2, R10
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        insn = Insn(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, 1, 0, 0,
+                    42)
+        assert Insn.decode(insn.encode()) == insn
+
+    def test_roundtrip_negative_off_imm(self):
+        insn = Insn(isa.BPF_JMP | isa.BPF_JA, 0, 0, -5, -1000)
+        assert Insn.decode(insn.encode()) == insn
+
+    def test_encode_length(self):
+        insn = Insn(isa.BPF_JMP | isa.BPF_EXIT)
+        assert len(insn.encode()) == 8
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            Insn.decode(b"\x00" * 7)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            Insn(0, dst=16).encode()
+
+    @given(st.integers(0, 255), st.integers(0, 10),
+           st.integers(0, 10), st.integers(-(1 << 15), (1 << 15) - 1),
+           st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_roundtrip_property(self, opcode, dst, src, off, imm):
+        insn = Insn(opcode, dst, src, off, imm)
+        assert Insn.decode(insn.encode()) == insn
+
+    def test_class_predicates(self):
+        alu = Insn(isa.BPF_ALU64 | isa.BPF_ADD | isa.BPF_K, 0, 0, 0, 1)
+        jmp = Insn(isa.BPF_JMP | isa.BPF_JEQ | isa.BPF_K, 0, 0, 1, 0)
+        ld = Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, 0, 0, 0, 0)
+        assert alu.is_alu and not alu.is_jump
+        assert jmp.is_jump and not jmp.is_alu
+        assert ld.is_ld_imm64
+
+
+class TestHelpers:
+    def test_sign_extend(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x7F, 8) == 127
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_to_u64_to_s64(self):
+        assert to_u64(-1) == (1 << 64) - 1
+        assert to_s64((1 << 64) - 1) == -1
+        assert to_s64(5) == 5
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_u64_s64_roundtrip(self, value):
+        assert to_s64(to_u64(value)) == value
+
+
+class TestAsm:
+    def test_forward_label(self):
+        prog = (Asm()
+                .jmp_imm("jeq", R1, 0, "end")
+                .mov64_imm(R0, 1)
+                .label("end")
+                .exit_()
+                .program())
+        assert prog[0].off == 1  # skips one insn
+
+    def test_backward_label(self):
+        prog = (Asm()
+                .label("top")
+                .mov64_imm(R0, 0)
+                .ja("top")
+                .exit_()
+                .program())
+        assert prog[1].off == -2
+
+    def test_undefined_label(self):
+        asm = Asm().ja("nowhere").exit_()
+        with pytest.raises(ValueError):
+            asm.program()
+
+    def test_duplicate_label(self):
+        asm = Asm().label("x")
+        with pytest.raises(ValueError):
+            asm.label("x")
+
+    def test_ld_imm64_two_slots(self):
+        prog = Asm().ld_imm64(R0, 0x1122334455667788).program()
+        assert len(prog) == 2
+        assert prog[0].imm == 0x55667788
+        assert prog[1].imm == 0x11223344
+
+    def test_ld_map_fd_pseudo(self):
+        prog = Asm().ld_map_fd(R1, 5).program()
+        assert prog[0].src == isa.BPF_PSEUDO_MAP_FD
+        assert prog[0].imm == 5
+
+    def test_ld_func_relative_target(self):
+        prog = (Asm()
+                .ld_func(R2, "cb")     # insns 0-1
+                .exit_()               # insn 2
+                .label("cb")
+                .exit_()               # insn 3
+                .program())
+        assert prog[0].src == isa.BPF_PSEUDO_FUNC
+        assert prog[0].imm == 2  # 0 + 2 + 1 == 3
+
+    def test_call_subprog_relative(self):
+        prog = (Asm()
+                .call_subprog("f")     # insn 0
+                .exit_()               # insn 1
+                .label("f")
+                .exit_()               # insn 2
+                .program())
+        assert prog[0].src == isa.BPF_PSEUDO_CALL
+        assert prog[0].imm == 1
+
+    def test_len(self):
+        asm = Asm().mov64_imm(R0, 0).exit_()
+        assert len(asm) == 2
+
+    def test_chaining_returns_self(self):
+        asm = Asm()
+        assert asm.mov64_imm(R0, 0) is asm
+
+
+class TestDisasm:
+    def test_mov_imm(self):
+        insn = Asm().mov64_imm(R0, 42).program()[0]
+        assert disasm_insn(insn) == "r0 = 42"
+
+    def test_alu_reg(self):
+        insn = Asm().alu64_reg("add", R0, R1).program()[0]
+        assert disasm_insn(insn) == "r0 += r1"
+
+    def test_load(self):
+        insn = Asm().ldx(4, R2, R1, 8).program()[0]
+        assert disasm_insn(insn) == "r2 = *(u32 *)(r1 +8)"
+
+    def test_store_imm(self):
+        insn = Asm().st_imm(8, R10, -16, 7).program()[0]
+        assert disasm_insn(insn) == "*(u64 *)(r10 -16) = 7"
+
+    def test_cond_jump(self):
+        insn = Asm().jmp_imm("jne", R1, 0, 3).program()[0]
+        assert disasm_insn(insn) == "if r1 != 0 goto +3"
+
+    def test_call_and_exit(self):
+        prog = Asm().call(14).exit_().program()
+        assert disasm_insn(prog[0]) == "call helper#14"
+        assert disasm_insn(prog[1]) == "exit"
+
+    def test_map_fd_rendering(self):
+        prog = Asm().ld_map_fd(R1, 3).program()
+        assert disasm_insn(prog[0], 0, prog[1]) == "r1 = map_fd[3]"
+
+    def test_full_program_listing(self):
+        prog = Asm().mov64_imm(R0, 2).exit_().program()
+        listing = disasm(prog)
+        assert "0: r0 = 2" in listing
+        assert "1: exit" in listing
+
+    def test_ld_imm64_listing_skips_second_slot(self):
+        prog = Asm().ld_imm64(R0, 0xAABBCCDD11223344).exit_().program()
+        listing = disasm(prog)
+        assert listing.count("\n") == 1  # two lines total
+        assert "0xaabbccdd11223344 ll" in listing

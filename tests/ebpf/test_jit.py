@@ -1,0 +1,91 @@
+"""JIT lowering tests."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.asm import Asm
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.isa import R0, R1, R3
+from repro.ebpf.jit import jit_compile
+
+
+def div_then_branch():
+    return (Asm()
+            .mov64_imm(R3, 8)
+            .alu64_imm("div", R3, 2)
+            .jmp_imm("jgt", R3, 7, "skip")
+            .mov64_imm(R0, 1)
+            .label("skip")
+            .mov64_imm(R0, 0)
+            .exit_()
+            .program())
+
+
+class TestJit:
+    def test_identity_without_bug(self):
+        program = div_then_branch()
+        result = jit_compile(program, BugConfig.all_patched())
+        assert result.insns == program
+        assert result.miscompiled == []
+
+    def test_bug_shifts_branch_after_div(self):
+        program = div_then_branch()
+        result = jit_compile(program, BugConfig())
+        assert len(result.miscompiled) == 1
+        index = result.miscompiled[0]
+        assert result.insns[index].off == program[index].off + 1
+
+    def test_branch_without_preceding_div_untouched(self):
+        program = (Asm()
+                   .mov64_imm(R3, 8)
+                   .jmp_imm("jgt", R3, 7, "skip")
+                   .mov64_imm(R0, 1)
+                   .label("skip")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        result = jit_compile(program, BugConfig())
+        assert result.insns == program
+
+    def test_mod_also_triggers_gadget(self):
+        program = (Asm()
+                   .mov64_imm(R3, 8)
+                   .alu64_imm("mod", R3, 3)
+                   .jmp_imm("jgt", R3, 7, "skip")
+                   .mov64_imm(R0, 1)
+                   .label("skip")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        result = jit_compile(program, BugConfig())
+        assert result.miscompiled
+
+    def test_unconditional_jump_untouched(self):
+        program = (Asm()
+                   .mov64_imm(R3, 8)
+                   .alu64_imm("div", R3, 2)
+                   .ja("end")
+                   .mov64_imm(R0, 1)
+                   .label("end")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        result = jit_compile(program, BugConfig())
+        assert result.insns == program
+
+    def test_backward_branch_untouched(self):
+        program = (Asm()
+                   .label("top")
+                   .mov64_imm(R3, 8)
+                   .alu64_imm("div", R3, 2)
+                   .jmp_imm("jgt", R3, 100, "top")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        result = jit_compile(program, BugConfig())
+        # off < 0: the modeled bug only affects forward displacement
+        assert result.insns == program
+
+    def test_length_preserved(self):
+        program = div_then_branch()
+        assert len(jit_compile(program).insns) == len(program)

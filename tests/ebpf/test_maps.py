@@ -1,0 +1,274 @@
+"""Map implementation tests."""
+
+import struct
+
+import pytest
+
+from repro.ebpf.bugs import BugConfig
+from repro.ebpf.loader import BpfSubsystem
+from repro.errors import BpfRuntimeError
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def bpf(kernel):
+    return BpfSubsystem(kernel)
+
+
+def key(i: int) -> bytes:
+    return struct.pack("<I", i)
+
+
+def val(v: int) -> bytes:
+    return struct.pack("<Q", v)
+
+
+class TestArrayMap:
+    def test_preallocated_lookup(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        addr = amap.lookup_addr(key(2))
+        assert addr == amap.storage.base + 2 * amap.value_size
+
+    def test_out_of_range_lookup_none(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        assert amap.lookup_addr(key(4)) is None
+
+    def test_update_and_read(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        assert amap.update(key(1), val(99)) == 0
+        assert amap.read_value(1) == val(99)
+
+    def test_update_out_of_range(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        assert amap.update(key(9), val(1)) == -7  # -E2BIG
+
+    def test_update_wrong_value_size(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        assert amap.update(key(0), b"xx") == -22  # -EINVAL
+
+    def test_delete_not_supported(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        assert amap.delete(key(0)) == -22
+
+    def test_wrong_key_size_raises(self, bpf):
+        amap = bpf.create_map("array", max_entries=4)
+        with pytest.raises(BpfRuntimeError):
+            amap.lookup_addr(b"\x00" * 8)
+
+    def test_requires_u32_keys(self, bpf):
+        with pytest.raises(BpfRuntimeError):
+            bpf.create_map("array", key_size=8)
+
+    def test_buggy_offset_wraps_32bit(self, kernel):
+        bpf = BpfSubsystem(kernel, bugs=BugConfig())
+        amap = bpf.create_map("array", value_size=64, max_entries=4)
+        assert amap.element_offset(1 << 26) == 0  # 2**32 wraps
+
+    def test_patched_offset_full_precision(self, kernel):
+        bpf = BpfSubsystem(kernel, bugs=BugConfig.all_patched())
+        amap = bpf.create_map("array", value_size=64, max_entries=4)
+        assert amap.element_offset(1 << 26) == (1 << 26) * 64
+
+
+class TestHashMap:
+    def test_miss_returns_none(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=4)
+        assert hmap.lookup_addr(key(1)) is None
+
+    def test_insert_lookup(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=4)
+        assert hmap.update(key(1), val(7)) == 0
+        assert hmap.read_value(key(1)) == val(7)
+
+    def test_overwrite(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=4)
+        hmap.update(key(1), val(7))
+        hmap.update(key(1), val(8))
+        assert hmap.read_value(key(1)) == val(8)
+        assert len(hmap) == 1
+
+    def test_capacity_enforced(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=2)
+        assert hmap.update(key(1), val(1)) == 0
+        assert hmap.update(key(2), val(2)) == 0
+        assert hmap.update(key(3), val(3)) == -7
+
+    def test_delete(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=4)
+        hmap.update(key(1), val(1))
+        assert hmap.delete(key(1)) == 0
+        assert hmap.lookup_addr(key(1)) is None
+
+    def test_delete_missing(self, bpf):
+        hmap = bpf.create_map("hash", max_entries=4)
+        assert hmap.delete(key(1)) == -2  # -ENOENT
+
+    def test_value_backed_by_kernel_memory(self, bpf, kernel):
+        hmap = bpf.create_map("hash", max_entries=4)
+        hmap.update(key(1), val(0xAB))
+        addr = hmap.lookup_addr(key(1))
+        assert kernel.mem.read_u64(addr) == 0xAB
+
+
+class TestRingBuf:
+    def test_output_and_drain(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        assert rb.output(b"event1") == 0
+        assert rb.output(b"event2") == 0
+        assert rb.drain() == [b"event1", b"event2"]
+        assert rb.drain() == []
+
+    def test_capacity(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=8)
+        assert rb.output(b"12345678") == 0
+        assert rb.output(b"x") == -28  # -ENOSPC
+
+    def test_reserve_submit(self, bpf, kernel):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        addr = rb.reserve(8)
+        assert addr is not None
+        kernel.mem.write_u64(addr, 0x42)
+        assert rb.submit(addr) == 0
+        assert rb.drain() == [val(0x42)]
+
+    def test_submit_unreserved(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        assert rb.submit(0x1234) == -22
+
+    def test_reserve_beyond_capacity(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=8)
+        assert rb.reserve(16) is None
+
+
+class TestTaskStorage:
+    def test_storage_created_on_demand(self, bpf, kernel):
+        ts = bpf.create_map("task_storage", value_size=8)
+        task_addr = kernel.current_task.address
+        assert ts.storage_for(task_addr, create=False) is None
+        addr = ts.storage_for(task_addr, create=True)
+        assert addr is not None
+
+    def test_storage_stable_per_task(self, bpf, kernel):
+        ts = bpf.create_map("task_storage", value_size=8)
+        addr1 = ts.storage_for(kernel.current_task.address, True)
+        addr2 = ts.storage_for(kernel.current_task.address, True)
+        assert addr1 == addr2
+
+    def test_separate_tasks_separate_storage(self, bpf, kernel):
+        ts = bpf.create_map("task_storage", value_size=8)
+        other = kernel.create_task()
+        a = ts.storage_for(kernel.current_task.address, True)
+        b = ts.storage_for(other.address, True)
+        assert a != b
+
+    def test_delete(self, bpf, kernel):
+        ts = bpf.create_map("task_storage", value_size=8)
+        addr = kernel.current_task.address
+        ts.storage_for(addr, True)
+        assert ts.delete_for(addr) == 0
+        assert ts.delete_for(addr) == -2
+
+
+class TestProgArray:
+    def test_set_get(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        sentinel = object()
+        pa.set_prog(1, sentinel)
+        assert pa.get_prog(1) is sentinel
+        assert pa.get_prog(0) is None
+
+    def test_out_of_range(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        with pytest.raises(BpfRuntimeError):
+            pa.set_prog(4, object())
+
+
+class TestSubsystemMapApi:
+    def test_fds_unique_and_resolvable(self, bpf):
+        a = bpf.create_map("array")
+        b = bpf.create_map("hash")
+        assert a.map_fd != b.map_fd
+        assert bpf.map_by_fd(a.map_fd) is a
+        assert bpf.map_by_fd(999) is None
+
+    def test_unknown_type_rejected(self, bpf):
+        with pytest.raises(BpfRuntimeError):
+            bpf.create_map("bloom")
+
+    def test_spin_lock_embedding(self, bpf):
+        m = bpf.create_map("array", with_spin_lock=True)
+        assert m.spin_lock is not None
+
+    def test_invalid_geometry(self, bpf):
+        with pytest.raises(BpfRuntimeError):
+            bpf.create_map("hash", value_size=0)
+
+
+class TestPercpuArrayMap:
+    def test_per_cpu_isolation(self, bpf, kernel):
+        pc = bpf.create_map("percpu_array", max_entries=4)
+        kernel.set_current_cpu(0)
+        pc.update(key(1), val(10))
+        kernel.set_current_cpu(1)
+        pc.update(key(1), val(20))
+        values = [int.from_bytes(raw, "little")
+                  for raw in pc.read_values(1)]
+        assert values[0] == 10 and values[1] == 20
+        assert values[2] == values[3] == 0
+
+    def test_lookup_follows_current_cpu(self, bpf, kernel):
+        pc = bpf.create_map("percpu_array", max_entries=4)
+        kernel.set_current_cpu(2)
+        addr2 = pc.lookup_addr(key(0))
+        kernel.set_current_cpu(3)
+        addr3 = pc.lookup_addr(key(0))
+        assert addr2 != addr3
+
+    def test_sum_across_cpus(self, bpf, kernel):
+        pc = bpf.create_map("percpu_array", max_entries=2)
+        for cpu_id in range(4):
+            kernel.set_current_cpu(cpu_id)
+            pc.update(key(0), val(cpu_id + 1))
+        assert pc.sum_u64(0) == 1 + 2 + 3 + 4
+
+    def test_out_of_range(self, bpf):
+        pc = bpf.create_map("percpu_array", max_entries=2)
+        assert pc.lookup_addr(key(2)) is None
+        assert pc.update(key(5), val(1)) == -7
+
+    def test_bytecode_counter_per_cpu(self, bpf, kernel):
+        """The classic per-CPU hot counter: no lock, no races."""
+        import struct as _struct
+        from repro.ebpf.asm import Asm
+        from repro.ebpf.helpers import ids as _ids
+        from repro.ebpf.isa import R0, R1, R2, R10
+        from repro.ebpf.progs import ProgType
+        pc = bpf.create_map("percpu_array", max_entries=1)
+        program = (Asm()
+                   .st_imm(4, R10, -4, 0)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, pc.map_fd)
+                   .call(_ids.BPF_FUNC_map_lookup_elem)
+                   .jmp_imm("jne", R0, 0, "hit")
+                   .mov64_imm(R0, 0).exit_()
+                   .label("hit")
+                   .ldx(8, R1, R0, 0)
+                   .alu64_imm("add", R1, 1)
+                   .stx(8, R0, 0, R1)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        prog = bpf.load_program(program, ProgType.KPROBE, "pcnt")
+        for cpu_id, runs in enumerate((3, 1, 0, 2)):
+            kernel.set_current_cpu(cpu_id)
+            for __ in range(runs):
+                bpf.run_on_current_task(prog)
+        assert pc.sum_u64(0) == 6
+        per_cpu = [int.from_bytes(raw, "little")
+                   for raw in pc.read_values(0)]
+        assert per_cpu == [3, 1, 0, 2]

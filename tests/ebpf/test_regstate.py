@@ -1,0 +1,300 @@
+"""Register-state and bounds-propagation tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.verifier import bounds
+from repro.ebpf.verifier.regstate import (
+    RegState,
+    RegType,
+    S64_MAX,
+    S64_MIN,
+    U64_MAX,
+    u64_to_s64,
+)
+from repro.ebpf.verifier.tnum import Tnum
+
+
+class TestConstruction:
+    def test_const_scalar(self):
+        reg = RegState.const_scalar(42)
+        assert reg.is_const and reg.const_value == 42
+        assert reg.umin == reg.umax == 42
+        assert reg.smin == reg.smax == 42
+
+    def test_const_scalar_negative(self):
+        reg = RegState.const_scalar(-1)
+        assert reg.smin == reg.smax == -1
+        assert reg.umin == reg.umax == U64_MAX
+
+    def test_unknown_scalar(self):
+        reg = RegState.unknown_scalar()
+        assert reg.type == RegType.SCALAR
+        assert not reg.is_const
+        assert reg.umin == 0 and reg.umax == U64_MAX
+
+    def test_pointer(self):
+        reg = RegState.pointer(RegType.PTR_TO_STACK, off=-8)
+        assert reg.is_pointer and reg.off == -8
+        assert reg.var_off.is_const
+
+    def test_mark_unknown_clears_everything(self):
+        reg = RegState.pointer(RegType.PTR_TO_MAP_VALUE, off=4)
+        reg.ref_obj_id = 3
+        reg.mark_unknown()
+        assert reg.type == RegType.SCALAR
+        assert reg.ref_obj_id == 0 and reg.off == 0
+
+
+class TestBoundsPropagation:
+    def test_update_bounds_from_tnum(self):
+        reg = RegState.unknown_scalar()
+        reg.var_off = Tnum(0, 0xFF)  # low byte unknown, rest zero
+        reg.update_bounds()
+        assert reg.umax == 0xFF and reg.umin == 0
+        assert reg.smax == 0xFF and reg.smin == 0
+
+    def test_deduce_signed_from_unsigned(self):
+        reg = RegState.unknown_scalar()
+        reg.umax = 100
+        reg.deduce_bounds()
+        assert reg.smin >= 0 and reg.smax <= 100
+
+    def test_deduce_unsigned_from_signed_positive(self):
+        reg = RegState.unknown_scalar()
+        reg.smin, reg.smax = 5, 10
+        reg.deduce_bounds()
+        assert reg.umin == 5 and reg.umax == 10
+
+    def test_deduce_negative_range(self):
+        reg = RegState.unknown_scalar()
+        reg.smin, reg.smax = -3, -1
+        reg.deduce_bounds()
+        # unsigned view of [-3, -1]
+        assert reg.umin == (1 << 64) - 3
+        assert reg.umax == U64_MAX
+
+    def test_bound_offset_feeds_tnum(self):
+        reg = RegState.unknown_scalar()
+        reg.umin, reg.umax = 0, 7
+        reg.bound_offset()
+        assert reg.var_off.umax <= 7
+
+    def test_settle_pipeline(self):
+        reg = RegState.unknown_scalar()
+        reg.var_off = Tnum(0, 0b111)
+        reg.settle_bounds()
+        assert reg.umax == 7 and reg.smax == 7
+
+
+class TestScalarAluBounds:
+    def test_add_consts(self):
+        dst = RegState.const_scalar(5)
+        bounds.alu_add(dst, RegState.const_scalar(3))
+        assert dst.is_const and dst.const_value == 8
+
+    def test_add_ranges(self):
+        dst = RegState.unknown_scalar()
+        dst.umin, dst.umax = 0, 10
+        dst.smin, dst.smax = 0, 10
+        src = RegState.const_scalar(5)
+        bounds.alu_add(dst, src)
+        assert dst.umin == 5 and dst.umax == 15
+
+    def test_add_overflow_poisons(self):
+        dst = RegState.unknown_scalar()
+        dst.umin, dst.umax = 0, U64_MAX
+        bounds.alu_add(dst, RegState.const_scalar(1))
+        assert dst.umax == U64_MAX and dst.umin == 0
+
+    def test_sub_ranges(self):
+        dst = RegState.const_scalar(100)
+        src = RegState.unknown_scalar()
+        src.umin, src.umax = 0, 10
+        src.smin, src.smax = 0, 10
+        bounds.alu_sub(dst, src)
+        assert dst.umin == 90 and dst.umax == 100
+
+    def test_sub_possible_wrap_unbounded(self):
+        dst = RegState.const_scalar(5)
+        src = RegState.const_scalar(10)
+        bounds.alu_sub(dst, src)
+        # 5 - 10 wraps in unsigned: full unsigned range expected
+        assert dst.umax == U64_MAX or dst.smin < 0
+
+    def test_and_const_bounds(self):
+        dst = RegState.unknown_scalar()
+        bounds.alu_and(dst, RegState.const_scalar(0xFF))
+        assert dst.umax == 0xFF and dst.umin == 0
+
+    def test_mod_const_bounds(self):
+        dst = RegState.unknown_scalar()
+        bounds.alu_mod(dst, RegState.const_scalar(10))
+        assert dst.umax <= 15  # tnum.range envelope of [0, 9]
+
+    def test_mul_small_ranges(self):
+        dst = RegState.unknown_scalar()
+        dst.umin, dst.umax, dst.smin, dst.smax = 2, 4, 2, 4
+        bounds.alu_mul(dst, RegState.const_scalar(10))
+        assert dst.umin == 20 and dst.umax == 40
+
+    def test_lsh_const(self):
+        dst = RegState.const_scalar(1)
+        bounds.alu_lsh(dst, RegState.const_scalar(8))
+        assert dst.is_const and dst.const_value == 256
+
+    def test_div_unknown_divisor_unbounded(self):
+        dst = RegState.const_scalar(100)
+        bounds.alu_div(dst, RegState.unknown_scalar())
+        assert dst.umax == U64_MAX
+
+    @settings(max_examples=100)
+    @given(st.integers(0, U64_MAX), st.integers(0, U64_MAX))
+    def test_add_soundness(self, x, y):
+        """Concrete result must lie in the abstract result's range."""
+        dst = RegState.const_scalar(x)
+        bounds.alu_add(dst, RegState.const_scalar(y))
+        concrete = (x + y) & U64_MAX
+        assert dst.umin <= concrete <= dst.umax
+
+
+class TestSubsumes:
+    def test_wider_scalar_subsumes_narrower(self):
+        wide = RegState.unknown_scalar()
+        narrow = RegState.const_scalar(5)
+        assert wide.subsumes(narrow)
+        assert not narrow.subsumes(wide)
+
+    def test_equal_pointers_subsume(self):
+        a = RegState.pointer(RegType.PTR_TO_STACK, off=-8)
+        b = RegState.pointer(RegType.PTR_TO_STACK, off=-8)
+        assert a.subsumes(b)
+
+    def test_different_offsets_do_not(self):
+        a = RegState.pointer(RegType.PTR_TO_STACK, off=-8)
+        b = RegState.pointer(RegType.PTR_TO_STACK, off=-16)
+        assert not a.subsumes(b)
+
+    def test_different_types_do_not(self):
+        a = RegState.unknown_scalar()
+        b = RegState.pointer(RegType.PTR_TO_STACK)
+        assert not a.subsumes(b)
+
+    def test_different_frameno_do_not(self):
+        a = RegState.pointer(RegType.PTR_TO_STACK, frameno=0)
+        b = RegState.pointer(RegType.PTR_TO_STACK, frameno=1)
+        assert not a.subsumes(b)
+
+
+class TestStateKeys:
+    def test_key_stable_across_copies(self):
+        reg = RegState.const_scalar(7)
+        assert reg.state_key() == reg.copy().state_key()
+
+    def test_key_differs_on_value(self):
+        assert RegState.const_scalar(7).state_key() != \
+            RegState.const_scalar(8).state_key()
+
+
+class TestRefinementSoundness:
+    """After a branch refines a register's bounds, every concrete
+    value that actually takes that branch must still be inside the
+    refined bounds — otherwise the verifier could be talked out of a
+    bounds check (CVE-2021-31440 was exactly this class)."""
+
+    @staticmethod
+    def _refined(op_name, taken, dst_lo, dst_hi, imm):
+        """Run the analyzer's reg_set_min_max on a synthetic state."""
+        from repro.ebpf import isa
+        from repro.ebpf.asm import Asm
+        from repro.ebpf.verifier.analyzer import Verifier, \
+            VerifierConfig
+        from repro.ebpf.verifier.states import VerifierState
+        from repro.ebpf.helpers.registry import build_default_registry
+
+        insn = Asm().jmp_imm(op_name, 2, imm, 1).program()[0]
+        verifier = Verifier([insn], __import__(
+            "repro.ebpf.progs", fromlist=["ProgType"]).ProgType.KPROBE,
+            build_default_registry(), {}, VerifierConfig())
+        state = VerifierState()
+        reg = RegState.unknown_scalar()
+        reg.umin, reg.umax = dst_lo, dst_hi
+        reg.smin = u64_to_s64(dst_lo) if dst_lo <= S64_MAX else S64_MIN
+        reg.smax = u64_to_s64(dst_hi) if dst_hi <= S64_MAX else S64_MAX
+        if reg.smin > reg.smax:
+            reg.smin, reg.smax = S64_MIN, S64_MAX
+        state.cur.regs[2] = reg
+        verifier._refine(state, insn, op_name, taken)
+        return state.cur.regs[2]
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.sampled_from(["jeq", "jne", "jgt", "jge", "jlt", "jle"]),
+           st.booleans(),
+           st.integers(0, 1 << 40), st.integers(0, 1 << 40),
+           st.integers(0, (1 << 31) - 1),
+           st.integers(0, 1 << 40))
+    def test_unsigned_refinement_sound(self, op_name, taken, lo, hi,
+                                       imm, probe):
+        lo, hi = min(lo, hi), max(lo, hi)
+        value = lo + probe % (hi - lo + 1)
+        takes = {
+            "jeq": value == imm, "jne": value != imm,
+            "jgt": value > imm, "jge": value >= imm,
+            "jlt": value < imm, "jle": value <= imm,
+        }[op_name]
+        if takes != taken:
+            return  # this concrete value goes down the other branch
+        reg = self._refined(op_name, taken, lo, hi, imm)
+        assert reg.umin <= value <= reg.umax, \
+            (op_name, taken, lo, hi, imm, value,
+             (reg.umin, reg.umax))
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.sampled_from(["jsgt", "jsge", "jslt", "jsle"]),
+           st.booleans(),
+           st.integers(-(1 << 40), 1 << 40),
+           st.integers(-(1 << 40), 1 << 40),
+           st.integers(-(1 << 31), (1 << 31) - 1),
+           st.integers(0, 1 << 41))
+    def test_signed_refinement_sound(self, op_name, taken, lo, hi,
+                                     imm, probe):
+        lo, hi = min(lo, hi), max(lo, hi)
+        value = lo + probe % (hi - lo + 1)
+        takes = {
+            "jsgt": value > imm, "jsge": value >= imm,
+            "jslt": value < imm, "jsle": value <= imm,
+        }[op_name]
+        if takes != taken:
+            return
+        from repro.ebpf.verifier.regstate import s64_to_u64
+        reg = self._refined(op_name, taken, s64_to_u64(lo) if lo < 0
+                            else lo, s64_to_u64(hi) if hi < 0 else hi,
+                            imm)
+        # build the synthetic state in signed terms instead
+        reg2 = self._refined_signed(op_name, taken, lo, hi, imm)
+        assert reg2.smin <= value <= reg2.smax, \
+            (op_name, taken, lo, hi, imm, value,
+             (reg2.smin, reg2.smax))
+
+    @staticmethod
+    def _refined_signed(op_name, taken, lo, hi, imm):
+        from repro.ebpf.asm import Asm
+        from repro.ebpf.verifier.analyzer import Verifier, \
+            VerifierConfig
+        from repro.ebpf.verifier.states import VerifierState
+        from repro.ebpf.helpers.registry import build_default_registry
+        from repro.ebpf.progs import ProgType
+        from repro.ebpf.verifier.regstate import s64_to_u64
+
+        insn = Asm().jmp_imm(op_name, 2, imm, 1).program()[0]
+        verifier = Verifier([insn], ProgType.KPROBE,
+                            build_default_registry(), {},
+                            VerifierConfig())
+        state = VerifierState()
+        reg = RegState.unknown_scalar()
+        reg.smin, reg.smax = lo, hi
+        if lo >= 0:
+            reg.umin, reg.umax = lo, hi
+        state.cur.regs[2] = reg
+        verifier._refine(state, insn, op_name, taken)
+        return state.cur.regs[2]

@@ -1,0 +1,452 @@
+"""Verifier tests: helper calls, references, locks, subprogs, loops."""
+
+import pytest
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R5, R6, R10
+from repro.ebpf.progs import ProgType
+from repro.ebpf.verifier.limits import VerifierLimits
+from repro.errors import VerifierError, VerifierLimitExceeded
+
+
+def expect_reject(load, program, needle, **kwargs):
+    with pytest.raises(VerifierError) as exc_info:
+        load(program, **kwargs)
+    assert needle in str(exc_info.value), str(exc_info.value)
+
+
+def sk_lookup_asm(map_free_variant="release"):
+    """Build the canonical lookup-then-release program."""
+    asm = (Asm()
+           .st_imm(4, R10, -12, 0)
+           .st_imm(4, R10, -8, 0x0A000001)
+           .st_imm(2, R10, -4, 0)
+           .st_imm(2, R10, -2, 80)
+           .mov64_reg(R2, R10).alu64_imm("add", R2, -12)
+           .mov64_imm(R3, 12)
+           .mov64_imm(R4, 0)
+           .mov64_imm(R5, 0)
+           .call(ids.BPF_FUNC_sk_lookup_tcp)
+           .jmp_imm("jne", R0, 0, "found")
+           .mov64_imm(R0, 0).exit_()
+           .label("found"))
+    if map_free_variant == "release":
+        asm.mov64_reg(R1, R0).call(ids.BPF_FUNC_sk_release)
+    asm.mov64_imm(R0, 0).exit_()
+    return asm.program()
+
+
+class TestHelperArgs:
+    def test_unknown_helper_rejected(self, load):
+        expect_reject(load,
+                      Asm().call(9999).exit_().program(),
+                      "unknown#9999")
+
+    def test_map_arg_must_be_map(self, load):
+        program = (Asm()
+                   .mov64_imm(R1, 5)     # scalar, not a map
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .st_imm(4, R10, -4, 0)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "map pointer")
+
+    def test_key_must_point_to_initialized_stack(self, bpf):
+        amap = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=1)
+        program = (Asm()
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                   .ld_map_fd(R1, amap.map_fd)
+                   .call(ids.BPF_FUNC_map_lookup_elem)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(program, ProgType.KPROBE, "t")
+        assert "uninitialized" in str(exc_info.value)
+
+    def test_const_size_must_be_bounded(self, load):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 0)
+                   .ldx(8, R2, R1, 0)          # ctx load: unknown size
+                   .mov64_reg(R1, R10).alu64_imm("add", R1, -8)
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_probe_read)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "unbounded")
+
+    def test_mem_size_pair_checked_against_stack(self, load):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 0)
+                   .mov64_reg(R1, R10).alu64_imm("add", R1, -8)
+                   .mov64_imm(R2, 64)          # claims 64 bytes
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_probe_read)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "invalid stack range")
+
+    def test_helper_with_no_args(self, load):
+        load(Asm().call(ids.BPF_FUNC_ktime_get_ns)
+             .mov64_imm(R0, 0).exit_().program())
+
+    def test_anything_arg_accepts_scalar_and_pointer(self, bpf):
+        # bpf_get_task_stack's first arg is ANYTHING: the shallow
+        # check the paper criticizes — even fp passes
+        program = (Asm()
+                   .mov64_reg(R1, R10)
+                   .mov64_reg(R2, R10).alu64_imm("add", R2, -8)
+                   .st_imm(8, R10, -8, 0)
+                   .mov64_imm(R3, 8)
+                   .mov64_imm(R4, 0)
+                   .call(ids.BPF_FUNC_get_task_stack)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")
+
+
+class TestReferences:
+    def test_leak_rejected(self, load):
+        expect_reject(load, sk_lookup_asm(map_free_variant="leak"),
+                      "unreleased reference", prog_type=ProgType.XDP)
+
+    def test_lookup_release_accepted(self, load):
+        load(sk_lookup_asm(), prog_type=ProgType.XDP)
+
+    def test_release_unreferenced_rejected(self, load):
+        program = (Asm()
+                   .mov64_reg(R1, R10)   # not a socket at all
+                   .call(ids.BPF_FUNC_sk_release)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "socket")
+
+    def test_double_release_rejected(self, load):
+        asm = (Asm()
+               .st_imm(4, R10, -12, 0)
+               .st_imm(4, R10, -8, 0)
+               .st_imm(2, R10, -4, 0)
+               .st_imm(2, R10, -2, 80)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -12)
+               .mov64_imm(R3, 12)
+               .mov64_imm(R4, 0)
+               .mov64_imm(R5, 0)
+               .call(ids.BPF_FUNC_sk_lookup_tcp)
+               .jmp_imm("jne", R0, 0, "found")
+               .mov64_imm(R0, 0).exit_()
+               .label("found")
+               .mov64_reg(R6, R0)
+               .mov64_reg(R1, R0).call(ids.BPF_FUNC_sk_release)
+               .mov64_reg(R1, R6).call(ids.BPF_FUNC_sk_release)
+               .mov64_imm(R0, 0)
+               .exit_())
+        expect_reject(load, asm.program(), "socket",
+                      prog_type=ProgType.XDP)
+
+    def test_null_branch_drops_the_obligation(self, load):
+        # if the lookup returned NULL there is nothing to release
+        asm = (Asm()
+               .st_imm(4, R10, -12, 0)
+               .st_imm(4, R10, -8, 0)
+               .st_imm(2, R10, -4, 0)
+               .st_imm(2, R10, -2, 80)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -12)
+               .mov64_imm(R3, 12)
+               .mov64_imm(R4, 0)
+               .mov64_imm(R5, 0)
+               .call(ids.BPF_FUNC_sk_lookup_tcp)
+               .jmp_imm("jeq", R0, 0, "null")
+               .mov64_reg(R1, R0).call(ids.BPF_FUNC_sk_release)
+               .label("null")
+               .mov64_imm(R0, 0)
+               .exit_())
+        load(asm.program(), prog_type=ProgType.XDP)
+
+    def test_ringbuf_reserve_needs_submit(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        program = (Asm()
+                   .ld_map_fd(R1, rb.map_fd)
+                   .mov64_imm(R2, 8)
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_ringbuf_reserve)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(program, ProgType.KPROBE, "t")
+        assert "unreleased" in str(exc_info.value)
+
+    def test_ringbuf_reserve_submit_ok(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        program = (Asm()
+                   .ld_map_fd(R1, rb.map_fd)
+                   .mov64_imm(R2, 8)
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_ringbuf_reserve)
+                   .jmp_imm("jeq", R0, 0, "out")
+                   .st_imm(8, R0, 0, 42)      # write into the record
+                   .mov64_reg(R1, R0)
+                   .mov64_imm(R2, 0)
+                   .call(ids.BPF_FUNC_ringbuf_submit)
+                   .label("out")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")
+
+
+class TestSpinLocks:
+    @pytest.fixture
+    def lock_map(self, bpf):
+        return bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=1, with_spin_lock=True)
+
+    def lock_prog(self, lock_map, *, unlock=True, double=False):
+        asm = (Asm()
+               .st_imm(4, R10, -4, 0)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+               .ld_map_fd(R1, lock_map.map_fd)
+               .call(ids.BPF_FUNC_map_lookup_elem)
+               .jmp_imm("jne", R0, 0, "have")
+               .mov64_imm(R0, 0).exit_()
+               .label("have")
+               .mov64_reg(R6, R0)
+               .mov64_reg(R1, R6)
+               .call(ids.BPF_FUNC_spin_lock))
+        if double:
+            asm.mov64_reg(R1, R6).call(ids.BPF_FUNC_spin_lock)
+        if unlock:
+            asm.mov64_reg(R1, R6).call(ids.BPF_FUNC_spin_unlock)
+        asm.mov64_imm(R0, 0).exit_()
+        return asm.program()
+
+    def test_lock_unlock_ok(self, bpf, lock_map):
+        bpf.load_program(self.lock_prog(lock_map), ProgType.KPROBE,
+                         "t")
+
+    def test_lock_without_unlock_rejected(self, bpf, lock_map):
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(self.lock_prog(lock_map, unlock=False),
+                             ProgType.KPROBE, "t")
+        assert "spin_lock" in str(exc_info.value)
+
+    def test_double_lock_rejected(self, bpf, lock_map):
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(self.lock_prog(lock_map, double=True),
+                             ProgType.KPROBE, "t")
+        assert "one bpf_spin_lock" in str(exc_info.value)
+
+    def test_helper_call_under_lock_rejected(self, bpf, lock_map):
+        asm = (Asm()
+               .st_imm(4, R10, -4, 0)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+               .ld_map_fd(R1, lock_map.map_fd)
+               .call(ids.BPF_FUNC_map_lookup_elem)
+               .jmp_imm("jne", R0, 0, "have")
+               .mov64_imm(R0, 0).exit_()
+               .label("have")
+               .mov64_reg(R6, R0)
+               .mov64_reg(R1, R6)
+               .call(ids.BPF_FUNC_spin_lock)
+               .call(ids.BPF_FUNC_get_current_task)  # forbidden
+               .mov64_reg(R1, R6)
+               .call(ids.BPF_FUNC_spin_unlock)
+               .mov64_imm(R0, 0)
+               .exit_())
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(asm.program(), ProgType.KPROBE, "t")
+        assert "holding a lock" in str(exc_info.value)
+
+    def test_unlock_without_lock_rejected(self, bpf, lock_map):
+        asm = (Asm()
+               .st_imm(4, R10, -4, 0)
+               .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+               .ld_map_fd(R1, lock_map.map_fd)
+               .call(ids.BPF_FUNC_map_lookup_elem)
+               .jmp_imm("jne", R0, 0, "have")
+               .mov64_imm(R0, 0).exit_()
+               .label("have")
+               .mov64_reg(R1, R0)
+               .call(ids.BPF_FUNC_spin_unlock)
+               .mov64_imm(R0, 0)
+               .exit_())
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(asm.program(), ProgType.KPROBE, "t")
+        assert "not held" in str(exc_info.value)
+
+
+class TestSubprogs:
+    def test_simple_call(self, load):
+        program = (Asm()
+                   .mov64_imm(R1, 1)
+                   .mov64_imm(R2, 2)
+                   .call_subprog("add")
+                   .exit_()
+                   .label("add")
+                   .mov64_reg(R0, R1)
+                   .alu64_reg("add", R0, R2)
+                   .exit_()
+                   .program())
+        load(program)
+
+    def test_args_passed_r1_to_r5(self, load):
+        program = (Asm()
+                   .mov64_imm(R1, 1).mov64_imm(R2, 2)
+                   .mov64_imm(R3, 3).mov64_imm(R4, 4)
+                   .mov64_imm(R5, 5)
+                   .call_subprog("f")
+                   .exit_()
+                   .label("f")
+                   .mov64_reg(R0, R5)
+                   .exit_()
+                   .program())
+        load(program)
+
+    def test_callee_r6_not_initialized(self, load):
+        program = (Asm()
+                   .mov64_imm(R6, 9)
+                   .call_subprog("f")
+                   .exit_()
+                   .label("f")
+                   .mov64_reg(R0, R6)   # fresh frame: r6 dead
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "!read_ok")
+
+    def test_recursion_depth_limited(self, load):
+        program = (Asm()
+                   .label("f")
+                   .call_subprog("f")
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierLimitExceeded):
+            load(program)
+
+    def test_callee_stack_is_private(self, load):
+        # caller writes -8; callee reading its own -8 must fail
+        program = (Asm()
+                   .st_imm(8, R10, -8, 1)
+                   .call_subprog("f")
+                   .exit_()
+                   .label("f")
+                   .ldx(8, R0, R10, -8)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "uninitialized")
+
+    def test_caller_stack_via_arg_pointer(self, load):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 7)
+                   .mov64_reg(R1, R10).alu64_imm("add", R1, -8)
+                   .call_subprog("f")
+                   .exit_()
+                   .label("f")
+                   .ldx(8, R0, R1, 0)   # reads the caller's frame
+                   .exit_()
+                   .program())
+        load(program)
+
+
+class TestBpfLoop:
+    def loop_program(self, bpf, nr=10, callback_ret_scalar=True):
+        asm = (Asm()
+               .mov64_imm(R1, nr)
+               .ld_func(R2, "cb")
+               .mov64_imm(R3, 0)
+               .mov64_imm(R4, 0)
+               .call(ids.BPF_FUNC_loop)
+               .mov64_imm(R0, 0)
+               .exit_()
+               .label("cb"))
+        if callback_ret_scalar:
+            asm.mov64_imm(R0, 0)
+        else:
+            asm.mov64_reg(R0, R10)  # returns a pointer: rejected
+        asm.exit_()
+        return asm.program()
+
+    def test_loop_with_callback_accepted(self, bpf):
+        bpf.load_program(self.loop_program(bpf), ProgType.KPROBE, "t")
+
+    def test_callback_must_return_scalar(self, bpf):
+        with pytest.raises(VerifierError) as exc_info:
+            bpf.load_program(
+                self.loop_program(bpf, callback_ret_scalar=False),
+                ProgType.KPROBE, "t")
+        assert "scalar" in str(exc_info.value)
+
+    def test_callback_arg_must_be_func(self, load):
+        program = (Asm()
+                   .mov64_imm(R1, 10)
+                   .mov64_imm(R2, 0)    # not a PTR_TO_FUNC
+                   .mov64_imm(R3, 0)
+                   .mov64_imm(R4, 0)
+                   .call(ids.BPF_FUNC_loop)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        expect_reject(load, program, "callback")
+
+    def test_ctx_arg_stack_or_null(self, bpf):
+        program = (Asm()
+                   .st_imm(8, R10, -8, 0)
+                   .mov64_imm(R1, 10)
+                   .ld_func(R2, "cb")
+                   .mov64_reg(R3, R10).alu64_imm("add", R3, -8)
+                   .mov64_imm(R4, 0)
+                   .call(ids.BPF_FUNC_loop)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .label("cb")
+                   .ldx(8, R0, R2, 0)    # callback reads caller stack
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")
+
+    def test_huge_nr_loops_verifies_in_constant_work(self, bpf):
+        """The verifier checks the callback once, not per iteration —
+        which is exactly why it cannot bound total run time (§2.2)."""
+        small = bpf.load_program(self.loop_program(bpf, nr=10),
+                                 ProgType.KPROBE, "a")
+        huge = bpf.load_program(self.loop_program(bpf, nr=1 << 23),
+                                ProgType.KPROBE, "b")
+        assert small.verifier_stats.insns_processed == \
+            huge.verifier_stats.insns_processed
+
+
+class TestTailCall:
+    def test_tail_call_args_checked(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        program = (Asm()
+                   .mov64_reg(R1, R10)     # not ctx
+                   .ld_map_fd(R2, pa.map_fd)
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_tail_call)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        with pytest.raises(VerifierError):
+            bpf.load_program(program, ProgType.KPROBE, "t")
+
+    def test_tail_call_ok(self, bpf):
+        pa = bpf.create_map("prog_array", max_entries=4)
+        program = (Asm()
+                   .mov64_reg(R6, R1)
+                   .mov64_reg(R1, R6)
+                   .ld_map_fd(R2, pa.map_fd)
+                   .mov64_imm(R3, 0)
+                   .call(ids.BPF_FUNC_tail_call)
+                   .mov64_imm(R0, 0)
+                   .exit_()
+                   .program())
+        bpf.load_program(program, ProgType.KPROBE, "t")

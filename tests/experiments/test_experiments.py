@@ -1,0 +1,257 @@
+"""Experiment-driver tests: every table/figure regenerates correctly.
+
+These run the same code paths as the benchmarks and assert the paper's
+shape claims programmatically (the benches additionally time them).
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_crash_sys_bpf,
+    exp_helper_retirement,
+    exp_rcu_stall,
+    exp_verification_cost,
+    fig2_verifier_loc,
+    fig3_helper_complexity,
+    fig4_helper_growth,
+    table1_bug_stats,
+    table2_enforcement,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_verifier_loc.run()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_helper_complexity.run()
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_helper_growth.run()
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return table1_bug_stats.run()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_enforcement.run()
+
+
+@pytest.fixture(scope="module")
+def stall():
+    return exp_rcu_stall.run(sample_limit=32)
+
+
+class TestFig2:
+    def test_monotone_growth(self, fig2):
+        assert fig2.monotone
+
+    def test_growth_factor(self, fig2):
+        assert 5.0 <= fig2.growth_factor <= 9.0
+
+    def test_final_loc(self, fig2):
+        assert 11_000 <= fig2.final_loc <= 13_000
+
+    def test_own_verifier_measured(self, fig2):
+        assert fig2.own_verifier_total > 1000
+
+    def test_render_passes_all_checks(self, fig2):
+        assert "[FAIL]" not in fig2_verifier_loc.render(fig2)
+
+
+class TestFig3:
+    def test_population(self, fig3):
+        assert fig3.complexity.total == 249
+
+    def test_extremes(self, fig3):
+        assert fig3.pid_tgid_nodes == 0
+        assert fig3.max_name == "bpf_sys_bpf"
+        assert fig3.max_nodes == 4845
+
+    def test_paper_fractions(self, fig3):
+        assert fig3.frac_30_plus == pytest.approx(0.522, abs=0.02)
+        assert fig3.frac_500_plus == pytest.approx(0.345, abs=0.02)
+
+    def test_render_passes_all_checks(self, fig3):
+        assert "[FAIL]" not in fig3_helper_complexity.render(fig3)
+
+
+class TestFig4:
+    def test_249_at_v518(self, fig4):
+        assert fig4.count_at_518 == 249
+
+    def test_growth_rate(self, fig4):
+        assert 35 <= fig4.mean_growth_per_two_years <= 75
+
+    def test_render_passes_all_checks(self, fig4):
+        assert "[FAIL]" not in fig4_helper_growth.render(fig4)
+
+
+class TestTable1:
+    def test_matches_paper(self, table1):
+        assert table1.matches_paper
+
+    def test_all_nine_bugs_modeled(self, table1):
+        assert len(table1.demo_outcomes) == 9
+
+    def test_demos_fire_iff_present(self, table1):
+        assert table1.all_demos_correct
+
+    def test_render_passes_all_checks(self, table1):
+        assert "[FAIL]" not in table1_bug_stats.render(table1)
+
+
+class TestTable2:
+    def test_all_cases_expected(self, table2):
+        assert table2.all_expected
+
+    def test_ebpf_compromised_safelang_not(self, table2):
+        assert len(table2.compromises("ebpf")) >= 5
+        assert table2.compromises("safelang") == []
+
+    def test_render_passes_all_checks(self, table2):
+        assert "[FAIL]" not in table2_enforcement.render(table2)
+
+
+class TestCrashExperiment:
+    def test_reproduces_paper(self):
+        result = exp_crash_sys_bpf.run()
+        assert result.reproduces_paper
+
+    def test_render(self):
+        result = exp_crash_sys_bpf.run()
+        assert "[FAIL]" not in exp_crash_sys_bpf.render(result)
+
+
+class TestRcuStallExperiment:
+    def test_linear_runtime(self, stall):
+        assert stall.max_fit_error < 0.15
+
+    def test_800_second_run(self, stall):
+        assert stall.long_run_seconds >= 800
+
+    def test_first_stall_at_timeout(self, stall):
+        assert 20 <= stall.first_stall_after_s <= 22
+
+    def test_millions_of_years_projection(self, stall):
+        assert any(years >= 1e6 for __, years in stall.projections)
+
+    def test_safelang_contained(self, stall):
+        assert stall.safelang_terminated
+        assert stall.safelang_kernel_healthy
+        assert stall.safelang_stalls == 0
+        # watchdog killed it within ~its budget, not 800 seconds
+        assert stall.safelang_runtime_ns < 10_000_000
+
+    def test_render(self, stall):
+        assert "[FAIL]" not in exp_rcu_stall.render(stall)
+
+
+class TestVerificationCost:
+    @pytest.fixture(scope="class")
+    def cost(self):
+        return exp_verification_cost.run()
+
+    def test_size_cap_rejection(self, cost):
+        assert cost.size_cap_rejected_at is not None
+
+    def test_unpruned_explosion(self, cost):
+        assert any(rejected for __, __, rejected in
+                   cost.unpruned_series)
+
+    def test_pruned_stays_cheap(self, cost):
+        assert cost.pruned_series[-1][1] < 10_000
+
+    def test_signature_flat(self, cost):
+        # signature check time grows at most linearly with bytes
+        small = cost.signature_series[0]
+        large = cost.signature_series[-1]
+        byte_ratio = large[0] / small[0]
+        time_ratio = large[1] / max(small[1], 1e-9)
+        assert time_ratio <= 4 * byte_ratio
+
+    def test_render(self, cost):
+        assert "[FAIL]" not in exp_verification_cost.render(cost)
+
+
+class TestHelperRetirement:
+    @pytest.fixture(scope="class")
+    def retirement(self):
+        return exp_helper_retirement.run()
+
+    def test_sixteen_retired(self, retirement):
+        assert retirement.survey.count("retire") == 16
+
+    def test_replacements_execute(self, retirement):
+        assert retirement.replacements_work
+
+    def test_render(self, retirement):
+        assert "[FAIL]" not in \
+            exp_helper_retirement.render(retirement)
+
+
+class TestMpkProtection:
+    @pytest.fixture(scope="class")
+    def mpk(self):
+        from repro.experiments import exp_mpk_protection
+        return exp_mpk_protection.run()
+
+    def test_corruption_without_keys(self, mpk):
+        assert mpk.corrupted_without_keys
+
+    def test_containment_with_keys(self, mpk):
+        assert mpk.fault_with_keys and mpk.pool_intact_with_keys
+
+    def test_render(self, mpk):
+        from repro.experiments import exp_mpk_protection
+        assert "[FAIL]" not in exp_mpk_protection.render(mpk)
+
+
+class TestArchitecturePipelines:
+    @pytest.fixture(scope="class")
+    def pipelines(self):
+        from repro.experiments import fig1_fig5_pipelines
+        return fig1_fig5_pipelines.run()
+
+    def test_verifier_lives_in_kernel_loading(self, pipelines):
+        assert pipelines.verifier_steps > 0
+
+    def test_kernel_only_checks_signature_in_fig5(self, pipelines):
+        assert pipelines.signature_checked
+
+    def test_crossings_observed_in_both(self, pipelines):
+        assert pipelines.ebpf_helper_crossings > 0
+        assert pipelines.safelang_kcrate_crossings > 0
+
+    def test_render(self, pipelines):
+        from repro.experiments import fig1_fig5_pipelines
+        assert "[FAIL]" not in fig1_fig5_pipelines.render(pipelines)
+
+
+class TestExpressiveness:
+    @pytest.fixture(scope="class")
+    def expressiveness(self):
+        from repro.experiments import exp_expressiveness
+        return exp_expressiveness.run()
+
+    def test_three_false_positives(self, expressiveness):
+        assert len(expressiveness.cases) == 3
+
+    def test_all_rejected_yet_correct(self, expressiveness):
+        assert expressiveness.all_rejected_yet_correct
+
+    def test_each_case_names_its_massage(self, expressiveness):
+        assert all(c.massage and c.massage_cost
+                   for c in expressiveness.cases)
+
+    def test_render(self, expressiveness):
+        from repro.experiments import exp_expressiveness
+        assert "[FAIL]" not in \
+            exp_expressiveness.render(expressiveness)

@@ -1,0 +1,151 @@
+"""bpftool-style CLI tests."""
+
+import pytest
+
+from repro.tools.bpftool import main
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+        r0 = 40
+        r1 = 2
+        r0 += r1
+        exit
+    """)
+    return str(path)
+
+
+@pytest.fixture
+def bad_prog_file(tmp_path):
+    path = tmp_path / "bad.s"
+    path.write_text("""
+        r0 = r5
+        exit
+    """)
+    return str(path)
+
+
+class TestProgCommands:
+    def test_verify_ok(self, prog_file, capsys):
+        assert main(["prog", "verify", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "verification OK" in out
+        assert "4 insns" in out
+
+    def test_verify_with_log(self, prog_file, capsys):
+        assert main(["prog", "verify", prog_file, "--log"]) == 0
+        out = capsys.readouterr().out
+        assert "verifier log" in out
+        assert "r0 = 40" in out
+        assert "R0=" in out        # register-state trace
+
+    def test_verify_rejection(self, bad_prog_file, capsys):
+        assert main(["prog", "verify", bad_prog_file]) == 1
+        assert "VERIFICATION FAILED" in capsys.readouterr().out
+
+    def test_run(self, prog_file, capsys):
+        assert main(["prog", "run", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "return value: 42" in out
+        assert "kernel healthy: True" in out
+
+    def test_run_xdp_with_payload(self, tmp_path, capsys):
+        path = tmp_path / "xdp.s"
+        path.write_text("r0 = 2\nexit\n")
+        assert main(["prog", "run", str(path), "--type", "xdp",
+                     "--payload", "hi"]) == 0
+        assert "return value: 2" in capsys.readouterr().out
+
+    def test_run_with_map(self, tmp_path, capsys):
+        path = tmp_path / "mapprog.s"
+        path.write_text("""
+            *(u32 *)(r10 -4) = 0
+            r2 = r10
+            r2 += -4
+            r1 = map_fd[3]
+            call helper#1
+            if r0 != 0 goto hit
+            r0 = 0
+            exit
+        hit:
+            r0 = *(u64 *)(r0 +0)
+            exit
+        """)
+        assert main(["prog", "run", str(path),
+                     "--map", "array:4:8:4"]) == 0
+        out = capsys.readouterr().out
+        assert "created array map fd=3" in out
+        assert "return value: 0" in out
+
+    def test_crash_reported(self, tmp_path, capsys):
+        path = tmp_path / "crash.s"
+        # the CVE-2022-2785 shape in text assembly
+        path.write_text("""
+            *(u32 *)(r10 -32) = 3
+            *(u32 *)(r10 -28) = 0
+            *(u64 *)(r10 -24) = 0
+            *(u64 *)(r10 -16) = 0
+            *(u64 *)(r10 -8) = 0
+            r1 = 2
+            r2 = r10
+            r2 += -32
+            r3 = 32
+            call helper#166
+            r0 = 0
+            exit
+        """)
+        code = main(["prog", "run", str(path),
+                     "--map", "hash:4:4:4"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "KERNEL COMPROMISED" in out
+
+    def test_crash_gone_when_patched(self, tmp_path, capsys):
+        path = tmp_path / "crash.s"
+        path.write_text("""
+            *(u32 *)(r10 -32) = 3
+            *(u32 *)(r10 -28) = 0
+            *(u64 *)(r10 -24) = 0
+            *(u64 *)(r10 -16) = 0
+            *(u64 *)(r10 -8) = 0
+            r1 = 2
+            r2 = r10
+            r2 += -32
+            r3 = 32
+            call helper#166
+            exit
+        """)
+        assert main(["prog", "run", str(path),
+                     "--map", "hash:4:4:4", "--patched"]) == 0
+        assert "kernel healthy: True" in capsys.readouterr().out
+
+    def test_dump(self, prog_file, capsys):
+        assert main(["prog", "dump", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "r0 += r1" in out
+
+
+class TestRegistryCommands:
+    def test_helper_list_all(self, capsys):
+        assert main(["helper", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "(249 helpers)" in out
+        assert "bpf_sys_bpf" in out
+
+    def test_helper_list_retired(self, capsys):
+        assert main(["helper", "list", "--class", "retire"]) == 0
+        out = capsys.readouterr().out
+        assert "(16 helpers)" in out
+        assert "bpf_loop" in out
+
+    def test_helper_list_implemented(self, capsys):
+        assert main(["helper", "list", "--implemented"]) == 0
+        assert "(35 helpers)" in capsys.readouterr().out
+
+    def test_bugs_list(self, capsys):
+        assert main(["bugs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "sys_bpf_null_union" in out
+        assert "Null-pointer dereference" in out

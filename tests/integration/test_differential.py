@@ -1,0 +1,174 @@
+"""Differential property tests.
+
+Two oracles:
+
+1. **eBPF**: random straight-line ALU/stack programs are verified and
+   executed; the result must match an independent Python model of the
+   ISA semantics, and the kernel must stay healthy (verified
+   straight-line code can't crash — that's the baseline the paper's
+   escape hatches then violate).
+2. **SafeLang**: random checked-arithmetic expressions; the VM either
+   produces exactly the Python-model value or panics exactly when the
+   model says the value leaves the type's range.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.isa import R0, R10
+from repro.kernel import Kernel
+
+U64 = (1 << 64) - 1
+
+# (op name, model function) — ALU64 semantics on u64
+_OPS = {
+    "add": lambda a, b: (a + b) & U64,
+    "sub": lambda a, b: (a - b) & U64,
+    "mul": lambda a, b: (a * b) & U64,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "div": lambda a, b: a // b if b else 0,
+    "mod": lambda a, b: a % b if b else a,
+}
+
+_imm = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@st.composite
+def straight_line_ops(draw):
+    """A short random sequence of (op, imm) steps."""
+    count = draw(st.integers(1, 12))
+    ops = []
+    for __ in range(count):
+        name = draw(st.sampled_from(sorted(_OPS)))
+        imm = draw(_imm)
+        ops.append((name, imm))
+    return ops
+
+
+def model_eval(start: int, ops) -> int:
+    value = start & U64
+    for name, imm in ops:
+        operand = imm & U64  # sign-extended to 64 bits
+        value = _OPS[name](value, operand)
+    return value
+
+
+class TestEbpfDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 1 << 30), straight_line_ops())
+    def test_alu_matches_model(self, start, ops):
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        asm = Asm().mov64_imm(R0, 0)
+        asm.ld_imm64(R0, start)
+        skipped = False
+        for name, imm in ops:
+            if name in ("div", "mod") and imm == 0:
+                skipped = True   # verifier rejects imm-0 divisors
+                continue
+            asm.alu64_imm(name, R0, imm)
+        asm.exit_()
+        effective = [(n, i) for n, i in ops
+                     if not (n in ("div", "mod") and i == 0)]
+        prog = bpf.load_program(asm.program(), ProgType.KPROBE,
+                                "diff")
+        result = bpf.run_on_current_task(prog)
+        assert result == model_eval(start, effective)
+        assert kernel.healthy
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, U64), st.integers(-64, -1))
+    def test_stack_roundtrip_any_value(self, value, slot8):
+        offset = slot8 * 8
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        asm = (Asm()
+               .ld_imm64(R0, value)
+               .stx(8, R10, offset, R0)
+               .mov64_imm(R0, 0)
+               .ldx(8, R0, R10, offset)
+               .exit_())
+        prog = bpf.load_program(asm.program(), ProgType.KPROBE,
+                                "stackrt")
+        assert bpf.run_on_current_task(prog) == value & U64
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, U64), st.integers(0, U64),
+           st.sampled_from(["jeq", "jne", "jgt", "jge", "jlt", "jle",
+                            "jsgt", "jsge", "jslt", "jsle"]))
+    def test_branch_semantics_match_model(self, a, b, op):
+        def s64(x):
+            return x - (1 << 64) if x >> 63 else x
+        model = {
+            "jeq": a == b, "jne": a != b, "jgt": a > b, "jge": a >= b,
+            "jlt": a < b, "jle": a <= b,
+            "jsgt": s64(a) > s64(b), "jsge": s64(a) >= s64(b),
+            "jslt": s64(a) < s64(b), "jsle": s64(a) <= s64(b),
+        }[op]
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        from repro.ebpf.isa import R2, R3
+        asm = (Asm()
+               .ld_imm64(R2, a)
+               .ld_imm64(R3, b)
+               .jmp_reg(op, R2, R3, "taken")
+               .mov64_imm(R0, 0)
+               .exit_()
+               .label("taken")
+               .mov64_imm(R0, 1)
+               .exit_())
+        prog = bpf.load_program(asm.program(), ProgType.KPROBE, "br")
+        assert bpf.run_on_current_task(prog) == int(model)
+
+
+# SafeLang checked arithmetic: expression trees over u64
+@st.composite
+def checked_expr(draw, depth=0):
+    """Returns (source_fragment, model) where model is the value or
+    the string "panic"."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(0, 10**6))
+        return str(value), value
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+    left_src, left = draw(checked_expr(depth + 1))
+    right_src, right = draw(checked_expr(depth + 1))
+    src = f"({left_src} {op} {right_src})"
+    if left == "panic" or right == "panic":
+        return src, "panic"
+    if op == "/":
+        model = left // right if right != 0 else "panic"
+    elif op == "%":
+        model = left % right if right != 0 else "panic"
+    elif op == "+":
+        model = left + right
+    elif op == "-":
+        model = left - right
+    else:
+        model = left * right
+    if model != "panic" and not 0 <= model <= U64:
+        model = "panic"
+    return src, model
+
+
+class TestSafeLangDifferential:
+    @settings(max_examples=50, deadline=None)
+    @given(checked_expr())
+    def test_checked_arithmetic_matches_model(self, case):
+        source_fragment, model = case
+        kernel = Kernel()
+        framework = SafeExtensionFramework(kernel)
+        source = (f"fn prog(ctx: XdpCtx) -> i64 {{ "
+                  f"let x: u64 = {source_fragment}; "
+                  f"return (x & 2147483647) as i64; }}")
+        loaded = framework.install(source, "diff")
+        result = framework.run_on_packet(loaded, b"x")
+        if model == "panic":
+            assert result.panicked, source_fragment
+        else:
+            assert not result.panicked, result.reason
+            assert result.value == model & 2147483647
+        assert kernel.healthy

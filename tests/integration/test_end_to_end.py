@@ -1,0 +1,168 @@
+"""Cross-layer integration tests."""
+
+import struct
+import subprocess
+import sys
+import os
+
+import pytest
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R10
+from repro.kernel import Kernel
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+
+class TestBothFrameworksAgree:
+    """The same policy, both frameworks, same kernel: identical
+    observable behaviour."""
+
+    def test_packet_counter_parity(self):
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        ebpf_map = bpf.create_map("array", key_size=4, value_size=8,
+                                  max_entries=1)
+        sl_map = bpf.create_map("array", key_size=4, value_size=8,
+                                max_entries=1)
+
+        ebpf_prog = bpf.load_program(
+            (Asm()
+             .st_imm(4, R10, -4, 0)
+             .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+             .ld_map_fd(R1, ebpf_map.map_fd)
+             .call(ids.BPF_FUNC_map_lookup_elem)
+             .jmp_imm("jne", R0, 0, "hit")
+             .mov64_imm(R0, 2).exit_()
+             .label("hit")
+             .ldx(8, R1, R0, 0)
+             .alu64_imm("add", R1, 1)
+             .stx(8, R0, 0, R1)
+             .mov64_imm(R0, 2)
+             .exit_()
+             .program()), ProgType.XDP, "count")
+
+        framework = SafeExtensionFramework(kernel)
+        sl_prog = framework.install("""
+        fn prog(ctx: XdpCtx) -> i64 {
+            match map_lookup(0, 0) {
+                Some(v) => { map_update(0, 0, v + 1); },
+                None => { },
+            }
+            return 2;
+        }
+        """, "count", maps=[sl_map])
+
+        for payload in (b"a", b"bb", b"ccc"):
+            assert bpf.run_on_packet(ebpf_prog, payload) == 2
+            assert framework.run_on_packet(sl_prog, payload).value == 2
+
+        ebpf_count = struct.unpack("<Q", ebpf_map.read_value(0))[0]
+        sl_count = struct.unpack("<Q", sl_map.read_value(0))[0]
+        assert ebpf_count == sl_count == 3
+
+    def test_shared_kernel_shared_maps(self):
+        """A SafeLang extension and an eBPF program can share a map:
+        the data plane is common kernel infrastructure."""
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        shared = bpf.create_map("array", key_size=4, value_size=8,
+                                max_entries=1)
+        framework = SafeExtensionFramework(kernel)
+        writer = framework.install(
+            "fn prog(ctx: XdpCtx) -> i64 { map_update(0, 0, 555); "
+            "return 0; }", "writer", maps=[shared])
+        framework.run_on_packet(writer, b"x")
+
+        reader = bpf.load_program(
+            (Asm()
+             .st_imm(4, R10, -4, 0)
+             .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+             .ld_map_fd(R1, shared.map_fd)
+             .call(ids.BPF_FUNC_map_lookup_elem)
+             .jmp_imm("jne", R0, 0, "hit")
+             .mov64_imm(R0, 0).exit_()
+             .label("hit")
+             .ldx(8, R0, R0, 0)
+             .exit_()
+             .program()), ProgType.KPROBE, "reader")
+        assert bpf.run_on_current_task(reader) == 555
+
+
+class TestKernelSurvivalMatrix:
+    def test_many_safelang_runs_leak_nothing(self):
+        kernel = Kernel()
+        kernel.create_socket(src_ip=0x0A000001, src_port=80)
+        framework = SafeExtensionFramework(kernel)
+        loaded = framework.install("""
+        fn prog(ctx: XdpCtx) -> i64 {
+            match sk_lookup_tcp(167772161, 80) {
+                Some(s) => { return s.state() as i64; },
+                None => { return -1; },
+            }
+            return 0;
+        }
+        """, "looper")
+        for __ in range(50):
+            framework.run_on_packet(loaded, b"x")
+        kernel.refs.assert_no_leaks("safelang:looper")
+        assert kernel.healthy
+
+    def test_mixed_workload_one_kernel(self):
+        """Healthy coexistence: tracing + networking + storage on one
+        kernel instance, interleaved."""
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel)
+        framework = SafeExtensionFramework(kernel)
+        hist = bpf.create_map("array", key_size=4, value_size=8,
+                              max_entries=8)
+        storage = bpf.create_map("task_storage", value_size=8)
+        tracer = framework.install("""
+        fn prog(ctx: XdpCtx) -> i64 {
+            let t = current_task();
+            task_storage_set(&t, 1, ktime_ns());
+            map_update(0, 0, 1);
+            return 0;
+        }
+        """, "tracer", maps=[hist, storage])
+        filt = bpf.load_program(
+            Asm().mov64_imm(R0, 2).exit_().program(),
+            ProgType.XDP, "filter")
+        for __ in range(10):
+            framework.run_on_packet(tracer, b"t")
+            bpf.run_on_packet(filt, b"f")
+        assert kernel.healthy
+        assert not kernel.rcu.read_lock_held
+
+    def test_crash_then_taint_is_observable(self):
+        from repro.attacks import build_corpus, run_case
+        kernel = Kernel()
+        case = next(c for c in build_corpus()
+                    if c.case_id == "ebpf-sys-bpf-crash")
+        run_case(case, kernel=kernel)
+        # after the oops, the kernel's taint is queryable by tooling
+        assert kernel.log.tainted
+        assert "BUG:" in kernel.log.dmesg()
+
+
+@pytest.mark.parametrize("example", [
+    "quickstart.py", "packet_filter.py", "tracing_profiler.py",
+    "syscall_security.py", "kernel_cache.py",
+])
+def test_examples_run_clean(example):
+    """Every example script must execute successfully."""
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_attack_demo_example_runs():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "attack_demo.py")],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "KERNEL" in result.stdout or "oops" in result.stdout

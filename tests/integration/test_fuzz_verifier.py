@@ -1,0 +1,59 @@
+"""Verifier fuzzing self-checks (the [41] methodology)."""
+
+import random
+
+import pytest
+
+from repro.analysis.fuzz import fuzz_campaign, random_program
+from repro.ebpf.isa import Insn
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = random_program(random.Random(7))
+        b = random_program(random.Random(7))
+        assert a == b
+
+    def test_programs_end_with_exit(self):
+        rng = random.Random(3)
+        for __ in range(50):
+            program = random_program(rng)
+            assert program[-1].opcode == 0x95  # exit
+            assert all(isinstance(insn, Insn) for insn in program)
+
+    def test_programs_decodable(self):
+        rng = random.Random(11)
+        for __ in range(50):
+            for insn in random_program(rng):
+                assert Insn.decode(insn.encode()) == insn
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fuzz_campaign(iterations=400, seed=1337)
+
+    def test_verifier_never_crashes(self, report):
+        assert report.verifier_crashes == []
+
+    def test_accepted_programs_never_compromise_patched_kernel(
+            self, report):
+        assert report.soundness_violations == []
+
+    def test_generator_achieves_useful_acceptance(self, report):
+        """If everything is rejected the campaign tests nothing."""
+        assert report.accepted >= report.total * 0.1
+
+    def test_generator_also_exercises_rejection(self, report):
+        assert report.rejected >= report.total * 0.1
+
+    def test_accounting_consistent(self, report):
+        assert report.accepted + report.rejected \
+            + len(report.verifier_crashes) == report.total
+        assert report.ran_clean + report.ran_recoverable \
+            + len(report.soundness_violations) >= report.accepted \
+            - len(report.soundness_violations)
+
+    def test_different_seed_also_clean(self):
+        report = fuzz_campaign(iterations=150, seed=2024)
+        assert report.clean

@@ -1,0 +1,141 @@
+"""Attachment-point tests: both frameworks chained on one hook."""
+
+import pytest
+
+from repro.core import SafeExtensionFramework
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.isa import R0, R1, R2, R3, R6
+from repro.kernel import Kernel
+from repro.kernel.hooks import XDP_DROP, XDP_PASS
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def bpf(kernel):
+    return BpfSubsystem(kernel)
+
+
+@pytest.fixture
+def fw(kernel):
+    return SafeExtensionFramework(kernel)
+
+
+def drop_if_first_byte(bpf, byte, name):
+    """An XDP program dropping packets starting with ``byte``."""
+    program = (Asm()
+               .ldx(8, R2, R1, 8)
+               .ldx(8, R3, R1, 16)
+               .mov64_reg(R6, R2).alu64_imm("add", R6, 1)
+               .jmp_reg("jgt", R6, R3, "pass")
+               .ldx(1, R6, R2, 0)
+               .jmp_imm("jeq", R6, byte, "drop")
+               .label("pass")
+               .mov64_imm(R0, 2)
+               .exit_()
+               .label("drop")
+               .mov64_imm(R0, 1)
+               .exit_()
+               .program())
+    return bpf.load_program(program, ProgType.XDP, name)
+
+
+class TestHookManager:
+    def test_attach_and_chain_order(self, kernel):
+        kernel.hooks.attach("xdp", "b", lambda s: XDP_PASS,
+                            priority=2)
+        kernel.hooks.attach("xdp", "a", lambda s: XDP_PASS,
+                            priority=1)
+        assert [a.name for a in kernel.hooks.chain("xdp")] == \
+            ["a", "b"]
+
+    def test_detach(self, kernel):
+        kernel.hooks.attach("xdp", "x", lambda s: XDP_PASS)
+        assert kernel.hooks.detach("xdp", "x")
+        assert not kernel.hooks.detach("xdp", "x")
+        assert kernel.hooks.chain("xdp") == []
+
+    def test_drop_short_circuits(self, kernel):
+        seen = []
+
+        def spy(name, verdict):
+            def run(skb):
+                seen.append(name)
+                return verdict
+            return run
+        kernel.hooks.attach("xdp", "first", spy("first", XDP_DROP))
+        kernel.hooks.attach("xdp", "second", spy("second", XDP_PASS))
+        verdict, saw = kernel.hooks.deliver_packet(b"x")
+        assert verdict == XDP_DROP
+        assert saw == ["first"] and seen == ["first"]
+
+    def test_pass_traverses_whole_chain(self, kernel):
+        kernel.hooks.attach("xdp", "a", lambda s: XDP_PASS)
+        kernel.hooks.attach("xdp", "b", lambda s: XDP_PASS)
+        verdict, saw = kernel.hooks.deliver_packet(b"x")
+        assert verdict == XDP_PASS and saw == ["a", "b"]
+
+    def test_dispatch_counter(self, kernel):
+        kernel.hooks.deliver_packet(b"x")
+        kernel.hooks.deliver_packet(b"y")
+        assert kernel.hooks.dispatched["xdp"] == 2
+
+    def test_attachment_logged(self, kernel):
+        kernel.hooks.attach("xdp", "logged", lambda s: XDP_PASS)
+        assert kernel.log.grep("attached logged to xdp")
+
+
+class TestMixedFrameworkChain:
+    def test_ebpf_and_safelang_share_the_xdp_hook(self, kernel, bpf,
+                                                  fw):
+        """The migration story: an eBPF firewall in front, a SafeLang
+        policy behind it, one packet path."""
+        front = drop_if_first_byte(bpf, ord("A"), "front")
+        bpf.attach_xdp(front, priority=0)
+
+        behind = fw.install("""
+        fn prog(ctx: XdpCtx) -> i64 {
+            match ctx.load_u8(0) {
+                Some(b) => { if b == 66 { return 1; } },   // 'B'
+                None => { },
+            }
+            return 2;
+        }
+        """, "behind")
+        fw.attach_xdp(behind, priority=1)
+
+        assert kernel.hooks.deliver_packet(b"Attack")[0] == XDP_DROP
+        assert kernel.hooks.deliver_packet(b"Bad")[0] == XDP_DROP
+        assert kernel.hooks.deliver_packet(b"Clean")[0] == XDP_PASS
+
+        # the eBPF program dropped 'A' before SafeLang ever saw it
+        verdict, saw = kernel.hooks.deliver_packet(b"Attack2")
+        assert saw == ["bpf:front"]
+        verdict, saw = kernel.hooks.deliver_packet(b"Benign")
+        assert saw == ["bpf:front", "safelang:behind"]
+
+    def test_trace_hook_runs_everyone(self, kernel, bpf, fw):
+        prog = bpf.load_program(
+            Asm().mov64_imm(R0, 7).exit_().program(),
+            ProgType.KPROBE, "t7")
+        bpf.attach_trace(prog)
+        ext = fw.install(
+            "fn prog(ctx: XdpCtx) -> i64 { return 9; }", "t9")
+        fw.attach_trace(ext)
+        results = kernel.hooks.fire_trace()
+        assert ("bpf:t7", 7) in results
+        assert ("safelang:t9", 9) in results
+
+    def test_kernel_survives_mixed_chain_soak(self, kernel, bpf, fw):
+        bpf.attach_xdp(drop_if_first_byte(bpf, ord("X"), "x"), 0)
+        ext = fw.install(
+            "fn prog(ctx: XdpCtx) -> i64 { return 2; }", "passer")
+        fw.attach_xdp(ext, 1)
+        for index in range(50):
+            payload = bytes([index % 256]) + b"payload"
+            kernel.hooks.deliver_packet(payload)
+        assert kernel.healthy
+        assert not kernel.rcu.read_lock_held

@@ -1,0 +1,106 @@
+"""Synthetic kernel function database tests."""
+
+import pytest
+
+from repro.kernel.funcdb import FunctionDatabase, build_default_funcdb
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_default_funcdb()
+
+
+class TestGeneration:
+    def test_default_size(self, db):
+        assert len(db) >= 20_000
+
+    def test_deterministic(self):
+        a = build_default_funcdb(seed=7, total=500)
+        b = build_default_funcdb.__wrapped__(seed=7, total=500)
+        assert [f.name for f in a.functions] == \
+            [f.name for f in b.functions]
+
+    def test_dag_invariant(self, db):
+        for fn_id, callees in enumerate(db.callees[:2000]):
+            assert all(c < fn_id for c in callees)
+
+    def test_names_unique(self, db):
+        names = [f.name for f in db.functions]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self, db):
+        fn = db.functions[100]
+        assert db.lookup(fn.name) is fn
+        assert db.lookup("no_such_function") is None
+
+    def test_loc_positive(self, db):
+        assert all(f.loc >= 3 for f in db.functions[:1000])
+
+    def test_subsystems_assigned(self, db):
+        subsystems = {f.subsystem for f in db.functions}
+        assert {"mm", "net", "fs", "lib"} <= subsystems
+
+    def test_total_loc(self, db):
+        assert db.total_loc() > 100_000
+        assert db.total_loc("net") < db.total_loc()
+
+
+class TestClosureSizes:
+    def test_leaves_have_zero_closure(self, db):
+        leaf_ids = [i for i, c in enumerate(db.callees[:100]) if not c]
+        assert leaf_ids
+        assert all(db.closure_size(i) == 0 for i in leaf_ids)
+
+    def test_closure_monotone_along_spine(self, db):
+        """A caller's closure strictly contains its callee's."""
+        for fn_id in range(1000, 1100):
+            for callee in db.callees_of(fn_id):
+                assert db.closure_size(fn_id) > db.closure_size(callee) \
+                    or db.closure_size(fn_id) >= \
+                    db.closure_size(callee)
+
+    def test_spectrum_covers_paper_range(self, db):
+        spectrum = db.closure_spectrum()
+        assert spectrum[0] == 0
+        assert spectrum[-1] >= 4845
+
+    def test_entry_with_closure_accuracy(self, db):
+        for target in (0, 10, 100, 1000, 4844):
+            got = db.closure_size(db.entry_with_closure(target))
+            assert abs(got - target) <= max(5, target * 0.05)
+
+
+class TestAddFunction:
+    def test_add_function_computes_closure(self):
+        db = FunctionDatabase()
+        a = db.add_function("a", "lib", 10)
+        b = db.add_function("b", "lib", 10, callees=[a])
+        c = db.add_function("c", "lib", 10, callees=[b])
+        assert db.closure_size(a) == 0
+        assert db.closure_size(b) == 1
+        assert db.closure_size(c) == 2
+
+    def test_shared_callees_counted_once(self):
+        db = FunctionDatabase()
+        a = db.add_function("a", "lib", 10)
+        b = db.add_function("b", "lib", 10, callees=[a])
+        c = db.add_function("c", "lib", 10, callees=[a])
+        d = db.add_function("d", "lib", 10, callees=[b, c])
+        assert db.closure_size(d) == 3  # a, b, c
+
+    def test_forward_edge_rejected(self):
+        db = FunctionDatabase()
+        db.add_function("a", "lib", 10)
+        with pytest.raises(ValueError):
+            db.add_function("b", "lib", 10, callees=[5])
+
+    def test_duplicate_name_rejected(self):
+        db = FunctionDatabase()
+        db.add_function("a", "lib", 10)
+        with pytest.raises(ValueError):
+            db.add_function("a", "lib", 10)
+
+    def test_self_call_rejected(self):
+        db = FunctionDatabase()
+        with pytest.raises(ValueError):
+            db.add_function("a", "lib", 10, callees=[0])

@@ -1,0 +1,71 @@
+"""Virtual clock unit tests."""
+
+import pytest
+
+from repro.kernel.ktime import NSEC_PER_SEC, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(5)
+        clock.advance(7)
+        assert clock.now_ns == 12
+
+    def test_now_seconds(self):
+        clock = VirtualClock()
+        clock.advance(3 * NSEC_PER_SEC)
+        assert clock.now_seconds == pytest.approx(3.0)
+
+    def test_zero_advance_is_noop(self):
+        clock = VirtualClock()
+        fired = []
+        clock.add_tick_callback("t", fired.append)
+        clock.advance(0)
+        assert clock.now_ns == 0
+        assert fired == []
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_tick_callback_receives_now(self):
+        clock = VirtualClock()
+        seen = []
+        clock.add_tick_callback("t", seen.append)
+        clock.advance(10)
+        clock.advance(5)
+        assert seen == [10, 15]
+
+    def test_multiple_callbacks_all_fire(self):
+        clock = VirtualClock()
+        seen_a, seen_b = [], []
+        clock.add_tick_callback("a", seen_a.append)
+        clock.add_tick_callback("b", seen_b.append)
+        clock.advance(1)
+        assert seen_a == [1] and seen_b == [1]
+
+    def test_remove_tick_callback(self):
+        clock = VirtualClock()
+        seen = []
+        clock.add_tick_callback("t", seen.append)
+        clock.remove_tick_callback("t")
+        clock.advance(1)
+        assert seen == []
+
+    def test_remove_only_named_callback(self):
+        clock = VirtualClock()
+        seen_a, seen_b = [], []
+        clock.add_tick_callback("a", seen_a.append)
+        clock.add_tick_callback("b", seen_b.append)
+        clock.remove_tick_callback("a")
+        clock.advance(2)
+        assert seen_a == [] and seen_b == [2]
+
+    def test_huge_advance(self):
+        clock = VirtualClock()
+        clock.advance(10**18)  # ~31 years of nanoseconds
+        assert clock.now_seconds > 10**8
