@@ -1,0 +1,17 @@
+# Convenience targets; everything runs with PYTHONPATH=src.
+
+.PHONY: test bench bench-all
+
+# Tier-1 suite (must stay green).
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Interpreter/load-cache throughput. Writes BENCH_throughput.json and
+# FAILS if the fast-path speedup ratio regresses more than 20% below
+# benchmarks/throughput_baseline.json.
+bench:
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_throughput.py -q
+
+# Every paper figure/table benchmark.
+bench-all:
+	PYTHONPATH=src python -m pytest benchmarks -q

@@ -36,6 +36,12 @@ class SafeExtensionFramework:
         self.vm = ExtensionVm(kernel, self.api,
                               watchdog_budget_ns=watchdog_budget_ns)
 
+    def shutdown(self) -> None:
+        """Tear the framework down, returning its kernel memory (the
+        per-CPU pool region) — without this, every framework instance
+        leaks one pool region for the kernel's lifetime."""
+        self.vm.shutdown()
+
     # -- developer workflow --------------------------------------------------
 
     def compile(self, source: str, name: str) -> CompiledExtension:

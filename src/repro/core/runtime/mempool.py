@@ -48,8 +48,16 @@ class MemoryPool:
     def alloc(self, size: int) -> Optional[PoolBlock]:
         """Allocate ``size`` bytes; None when the pool is exhausted —
         never a sleeping fallback, this is interrupt-safe by
-        construction."""
-        if size <= 0:
+        construction.
+
+        ``alloc(0)`` is defined as a refusal: it returns None without
+        counting as an exhaustion failure (there is no such thing as a
+        zero-byte object in the pool).  Negative sizes are caller bugs
+        and raise ``ValueError``.
+        """
+        if size < 0:
+            raise ValueError(f"negative allocation size {size}")
+        if size == 0:
             return None
         aligned = (size + 7) & ~7
         if self._top + aligned > self.size:
@@ -63,3 +71,16 @@ class MemoryPool:
     def reset(self) -> None:
         """Free everything (end of extension invocation)."""
         self._top = 0
+
+    def destroy(self) -> None:
+        """Release the backing region (framework teardown).
+
+        Without this the pool's kmalloc'd region outlives the
+        framework — a genuine kernel memory leak, one region per
+        framework instance.  Idempotent.
+        """
+        self._top = 0
+        if not self.region.freed:
+            self.kernel.mem.kfree(self.region)
+        if self.cpu.storage.get("safelang_pool") is self:
+            del self.cpu.storage["safelang_pool"]

@@ -42,7 +42,12 @@ class Watchdog:
         return self._deadline is not None
 
     def arm(self) -> None:
-        """Start the countdown (registers a clock tick hook)."""
+        """Start the countdown (registers a clock tick hook).
+
+        Idempotent: re-arming replaces any previous registration, so a
+        watchdog never holds more than one tick hook.
+        """
+        self.clock.remove_tick_callback(self._callback_name)
         self._deadline = self.clock.now_ns + self.budget_ns
         self._fired = False
         self.clock.add_tick_callback(self._callback_name, self._on_tick)
@@ -54,7 +59,12 @@ class Watchdog:
 
     def _on_tick(self, now_ns: int) -> None:
         if self._deadline is not None and now_ns >= self._deadline:
+            # one-shot: firing deregisters the hook, so a watchdog
+            # whose extension is killed before disarm() doesn't leave
+            # a stale callback ticking on the clock forever
             self._fired = True
+            self._deadline = None
+            self.clock.remove_tick_callback(self._callback_name)
 
     def remaining_ns(self) -> int:
         """Budget left; 0 when expired or disarmed."""

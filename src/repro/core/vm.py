@@ -128,6 +128,10 @@ class ExtensionVm:
         self.watchdog_budget_ns = watchdog_budget_ns
         self.pool = MemoryPool(kernel, kernel.current_cpu)
 
+    def shutdown(self) -> None:
+        """Release the per-CPU pool region (framework teardown)."""
+        self.pool.destroy()
+
     # -- public API ---------------------------------------------------------
 
     def run(self, program: ast.Program, prog_name: str,

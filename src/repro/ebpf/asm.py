@@ -156,11 +156,41 @@ class Asm:
     def atomic_add(self, size: int, dst: int, off: int,
                    src: int) -> "Asm":
         """Atomic ``*(size*)(dst + off) += src`` (XADD); size 4 or 8."""
+        return self.atomic_op("add", size, dst, off, src)
+
+    def atomic_op(self, op: str, size: int, dst: int, off: int,
+                  src: int, *, fetch: bool = False) -> "Asm":
+        """Atomic ``*(size*)(dst + off) <op>= src``; ``fetch`` also
+        loads the old value into ``src``.  Ops: add/or/and/xor."""
+        ops = {"add": isa.BPF_ADD, "or": isa.BPF_OR,
+               "and": isa.BPF_AND, "xor": isa.BPF_XOR}
+        if op not in ops:
+            raise ValueError(f"unknown atomic op {op!r}")
+        if size not in (4, 8):
+            raise ValueError("atomic ops are 4 or 8 bytes")
+        imm = ops[op] | (isa.BPF_FETCH if fetch else 0)
+        return self._emit(Insn(
+            isa.BPF_STX | _SIZES[size] | isa.BPF_ATOMIC,
+            dst, src, off, imm))
+
+    def atomic_xchg(self, size: int, dst: int, off: int,
+                    src: int) -> "Asm":
+        """Atomic exchange: old value lands in ``src``."""
         if size not in (4, 8):
             raise ValueError("atomic ops are 4 or 8 bytes")
         return self._emit(Insn(
             isa.BPF_STX | _SIZES[size] | isa.BPF_ATOMIC,
-            dst, src, off, isa.BPF_ADD))
+            dst, src, off, isa.BPF_XCHG))
+
+    def atomic_cmpxchg(self, size: int, dst: int, off: int,
+                       src: int) -> "Asm":
+        """Atomic compare-exchange: R0 is the comparand and receives
+        the old value; ``src`` is the replacement."""
+        if size not in (4, 8):
+            raise ValueError("atomic ops are 4 or 8 bytes")
+        return self._emit(Insn(
+            isa.BPF_STX | _SIZES[size] | isa.BPF_ATOMIC,
+            dst, src, off, isa.BPF_CMPXCHG))
 
     # -- control flow -----------------------------------------------------------
 

@@ -15,26 +15,83 @@ virtual time at the measured per-iteration cost.  This keeps the
 paper's 800-second stall (and far longer) executable in milliseconds
 of host time while preserving the linear runtime-vs-iterations law the
 experiment measures.
+
+Two frame executors share the semantics:
+
+* ``_run_frame_slow`` decodes each ``Insn`` as it executes — the
+  original reference path, kept as the differential-testing baseline.
+* ``_run_frame_fast`` drives a :class:`~repro.ebpf.predecode.\
+PredecodedProgram` dispatch table built at load time, and charges
+  virtual time in *batches*: straight-line blocks accumulate a pending
+  instruction count that is flushed to ``kernel.work()`` only at
+  observation points — memory accesses, helper calls, subprogram
+  calls, taken backward edges, and frame exit — so the clock reads
+  identically to per-insn accounting everywhere it can be observed.
+
+``DEFAULT_FAST_PATH`` selects the engine for VMs that don't choose
+explicitly; both paths must stay observationally identical (see
+``tests/ebpf/test_fastpath_differential.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.ebpf import isa
 from repro.ebpf.bugs import BugConfig
 from repro.ebpf.helpers.base import HelperCallContext
 from repro.ebpf.isa import Insn, to_s64, to_u64
+from repro.ebpf.predecode import (
+    FUNC_PTR_BASE, K_ALU32_K, K_ALU32_X, K_ALU64_K, K_ALU64_X,
+    K_ATOMIC, K_BAD, K_CALL_HELPER, K_CALL_SUB, K_EXIT, K_JA,
+    K_JMP32_K, K_JMP32_X, K_JMP_K, K_JMP_X, K_LD_IMM64, K_LDX,
+    K_MOV32_K, K_MOV32_X, K_MOV64_K, K_MOV64_X, K_ST, K_STX,
+    MAP_PTR_BASE, A_ADD, A_AND, A_ARSH, A_DIV, A_LSH, A_MOD, A_MUL,
+    A_NEG, A_OR, A_RSH, A_SUB, A_XOR, J_EQ, J_GE, J_GT, J_LE, J_LT,
+    J_NE, J_SET, J_SGE, J_SGT, J_SLE, J_SLT, PredecodedProgram,
+    predecode,
+)
 from repro.errors import BpfRuntimeError
 from repro.kernel.kernel import Kernel
 
-#: sentinel base address for map references in registers
-MAP_PTR_BASE = 0xFFFF_C900_0000_0000
-#: sentinel base address for callback (func) references
-FUNC_PTR_BASE = 0xFFFF_FFFF_A000_0000
-
 U64 = (1 << 64) - 1
 U32 = (1 << 32) - 1
+
+_H64 = 1 << 63
+_F64 = 1 << 64
+_H32 = 1 << 31
+_F32 = 1 << 32
+
+#: engine used by VMs that don't pick one explicitly; the slow
+#: decode-per-step path stays available as the differential baseline
+DEFAULT_FAST_PATH = True
+
+
+def _cond_eval(cond: int, d: int, s: int, half: int, full: int) -> bool:
+    """Evaluate one predecoded conditional-jump condition."""
+    if cond == J_EQ:
+        return d == s
+    if cond == J_NE:
+        return d != s
+    if cond == J_GT:
+        return d > s
+    if cond == J_GE:
+        return d >= s
+    if cond == J_LT:
+        return d < s
+    if cond == J_LE:
+        return d <= s
+    if cond == J_SET:
+        return bool(d & s)
+    sd = d - full if d & half else d
+    ss = s - full if s & half else s
+    if cond == J_SGT:
+        return sd > ss
+    if cond == J_SGE:
+        return sd >= ss
+    if cond == J_SLT:
+        return sd < ss
+    return sd <= ss
 
 
 class TailCallRequest(Exception):
@@ -50,18 +107,23 @@ class BpfVm:
 
     def __init__(self, kernel: Kernel, subsystem: "object",
                  bugs: Optional[BugConfig] = None,
-                 loop_sample_limit: int = 256) -> None:
+                 loop_sample_limit: int = 256,
+                 fast_path: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.subsystem = subsystem
         self.bugs = bugs or BugConfig()
         #: concrete iterations executed before fast-forwarding a loop
         self.loop_sample_limit = loop_sample_limit
+        #: None -> follow the module default at run time
+        self.fast_path = DEFAULT_FAST_PATH if fast_path is None \
+            else fast_path
         self.insns_executed = 0
         #: crossings from verified bytecode into unverified kernel C
         self.helper_calls = 0
         self._prandom_state = 0x2545F491
         self._current_prog: Optional[object] = None
         self._insns: List[Insn] = []
+        self._decoded: Optional[PredecodedProgram] = None
 
     # -- identity used for refcount/lock/fault attribution -----------------
 
@@ -88,6 +150,8 @@ class BpfVm:
             while True:
                 self._current_prog = current
                 self._insns = current.runnable_insns()
+                self._decoded = self._decoded_for(current) \
+                    if self.fast_path else None
                 try:
                     return self._run_frame(0, [0] * 11, ctx_addr,
                                            depth=0)
@@ -103,11 +167,276 @@ class BpfVm:
             cpu.preempt_enable()
             rcu.read_unlock()
 
+    def _decoded_for(self, prog: object) -> PredecodedProgram:
+        """The program's dispatch table, predecoding lazily if the
+        loader didn't attach one (e.g. hand-built test programs)."""
+        decoded = getattr(prog, "predecoded", None)
+        if decoded is not None and decoded.n_insns == len(self._insns):
+            return decoded
+        decoded = predecode(self._insns)
+        try:
+            prog.predecoded = decoded
+        except (AttributeError, TypeError):
+            pass  # frozen/slotted prog objects just predecode per run
+        return decoded
+
     # -- frame execution ---------------------------------------------------------
 
     def _run_frame(self, start_idx: int, caller_regs: Sequence[int],
                    ctx_addr: Optional[int], depth: int) -> int:
         """Execute from ``start_idx`` to EXIT in a fresh frame."""
+        if self._decoded is not None:
+            return self._run_frame_fast(start_idx, caller_regs,
+                                        ctx_addr, depth)
+        return self._run_frame_slow(start_idx, caller_regs, ctx_addr,
+                                    depth)
+
+    def _run_frame_fast(self, start_idx: int,
+                        caller_regs: Sequence[int],
+                        ctx_addr: Optional[int], depth: int) -> int:
+        """Dispatch-table executor with batched clock accounting.
+
+        ``pending`` counts instructions executed since the last flush;
+        every point where the virtual clock or ``insns_executed`` is
+        observable from outside the frame (memory, helpers, subprog
+        calls, backward edges, exit, and any raised fault) flushes
+        first, so totals agree with the decode-per-step path exactly.
+        """
+        if depth > 8:
+            raise BpfRuntimeError("call depth exceeded at run time")
+        kernel = self.kernel
+        mem = kernel.mem
+        mem_read = mem.read
+        mem_write = mem.write
+        work = kernel.work
+        tag = self.prog_tag
+        stack = mem.kmalloc(512, type_name="bpf_stack", owner=tag)
+        regs = [0] * 11
+        if ctx_addr is not None:
+            regs[1] = ctx_addr & U64
+        else:
+            regs[1:6] = [v & U64 for v in caller_regs[1:6]]
+        regs[10] = stack.base + 512
+        slots = self._decoded.slots
+        n = len(slots)
+        idx = start_idx
+        pending = 0
+        try:
+            while True:
+                if not 0 <= idx < n:
+                    raise BpfRuntimeError(f"pc out of range: {idx}")
+                slot = slots[idx]
+                kind = slot[0]
+                pending += 1
+
+                if kind == K_ALU64_K or kind == K_ALU64_X:
+                    op = slot[1]
+                    dr = slot[2]
+                    s = regs[slot[3]] if kind == K_ALU64_X else slot[3]
+                    d = regs[dr]
+                    if op == A_ADD:
+                        regs[dr] = (d + s) & U64
+                    elif op == A_SUB:
+                        regs[dr] = (d - s) & U64
+                    elif op == A_AND:
+                        regs[dr] = d & s
+                    elif op == A_OR:
+                        regs[dr] = d | s
+                    elif op == A_XOR:
+                        regs[dr] = d ^ s
+                    elif op == A_MUL:
+                        regs[dr] = (d * s) & U64
+                    elif op == A_LSH:
+                        regs[dr] = (d << (s & 63)) & U64
+                    elif op == A_RSH:
+                        regs[dr] = d >> (s & 63)
+                    elif op == A_DIV:
+                        regs[dr] = d // s if s else 0
+                    elif op == A_MOD:
+                        regs[dr] = d % s if s else d
+                    elif op == A_ARSH:
+                        sd = d - _F64 if d & _H64 else d
+                        regs[dr] = (sd >> (s & 63)) & U64
+                    elif op == A_NEG:
+                        regs[dr] = (-d) & U64
+                    else:
+                        raise BpfRuntimeError(
+                            f"unsupported ALU op {op:#x}")
+                    idx += 1
+                    continue
+
+                if kind == K_MOV64_K:
+                    regs[slot[1]] = slot[2]
+                    idx += 1
+                    continue
+                if kind == K_MOV64_X:
+                    regs[slot[1]] = regs[slot[2]]
+                    idx += 1
+                    continue
+
+                if kind == K_JMP_K or kind == K_JMP_X:
+                    d = regs[slot[2]]
+                    if kind == K_JMP_X:
+                        s = regs[slot[3]]
+                        target, backward = slot[4], slot[5]
+                    else:
+                        s = slot[3]
+                        target, backward = slot[5], slot[6]
+                    if _cond_eval(slot[1], d, s, _H64, _F64):
+                        if backward:
+                            self.insns_executed += pending
+                            work(pending)
+                            pending = 0
+                        idx = target
+                    else:
+                        idx += 1
+                    continue
+
+                if kind == K_LDX:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    addr = (regs[slot[2]] + slot[3]) & U64
+                    regs[slot[1]] = int.from_bytes(
+                        mem_read(addr, slot[4], source=tag), "little")
+                    idx += 1
+                    continue
+                if kind == K_STX:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    addr = (regs[slot[1]] + slot[3]) & U64
+                    value = regs[slot[2]] & slot[5]
+                    mem_write(addr, value.to_bytes(slot[4], "little"),
+                              source=tag)
+                    idx += 1
+                    continue
+                if kind == K_ST:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    addr = (regs[slot[1]] + slot[2]) & U64
+                    mem_write(addr, slot[3], source=tag)
+                    idx += 1
+                    continue
+                if kind == K_ATOMIC:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    addr = (regs[slot[1]] + slot[3]) & U64
+                    self._atomic_rmw(regs, slot[5], addr, slot[4],
+                                     slot[2], mem, tag)
+                    idx += 1
+                    continue
+
+                if kind == K_ALU32_K or kind == K_ALU32_X:
+                    op = slot[1]
+                    dr = slot[2]
+                    s = regs[slot[3]] & U32 if kind == K_ALU32_X \
+                        else slot[3]
+                    d = regs[dr] & U32
+                    if op == A_ADD:
+                        regs[dr] = (d + s) & U32
+                    elif op == A_SUB:
+                        regs[dr] = (d - s) & U32
+                    elif op == A_AND:
+                        regs[dr] = d & s
+                    elif op == A_OR:
+                        regs[dr] = d | s
+                    elif op == A_XOR:
+                        regs[dr] = d ^ s
+                    elif op == A_MUL:
+                        regs[dr] = (d * s) & U32
+                    elif op == A_LSH:
+                        regs[dr] = (d << (s & 31)) & U32
+                    elif op == A_RSH:
+                        regs[dr] = d >> (s & 31)
+                    elif op == A_DIV:
+                        regs[dr] = d // s if s else 0
+                    elif op == A_MOD:
+                        regs[dr] = d % s if s else d
+                    elif op == A_ARSH:
+                        sd = d - _F32 if d & _H32 else d
+                        regs[dr] = (sd >> (s & 31)) & U32
+                    elif op == A_NEG:
+                        regs[dr] = (-d) & U32
+                    else:
+                        raise BpfRuntimeError(
+                            f"unsupported ALU op {op:#x}")
+                    idx += 1
+                    continue
+                if kind == K_MOV32_K:
+                    regs[slot[1]] = slot[2]
+                    idx += 1
+                    continue
+                if kind == K_MOV32_X:
+                    regs[slot[1]] = regs[slot[2]] & U32
+                    idx += 1
+                    continue
+
+                if kind == K_JMP32_K or kind == K_JMP32_X:
+                    d = regs[slot[2]] & U32
+                    if kind == K_JMP32_X:
+                        s = regs[slot[3]] & U32
+                        target, backward = slot[4], slot[5]
+                    else:
+                        s = slot[3]
+                        target, backward = slot[5], slot[6]
+                    if _cond_eval(slot[1], d, s, _H32, _F32):
+                        if backward:
+                            self.insns_executed += pending
+                            work(pending)
+                            pending = 0
+                        idx = target
+                    else:
+                        idx += 1
+                    continue
+
+                if kind == K_LD_IMM64:
+                    regs[slot[1]] = slot[2]
+                    idx = slot[3]
+                    continue
+                if kind == K_JA:
+                    if slot[2]:
+                        self.insns_executed += pending
+                        work(pending)
+                        pending = 0
+                    idx = slot[1]
+                    continue
+                if kind == K_CALL_HELPER:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    regs[0] = self._call_helper(slot[1], regs)
+                    idx += 1
+                    continue
+                if kind == K_CALL_SUB:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    regs[0] = self._run_frame_fast(slot[1], regs,
+                                                   None, depth + 1)
+                    idx += 1
+                    continue
+                if kind == K_EXIT:
+                    self.insns_executed += pending
+                    work(pending)
+                    pending = 0
+                    return regs[0]
+                # K_BAD and anything unexpected
+                raise BpfRuntimeError(slot[1] if kind == K_BAD else
+                                      f"undecodable slot at {idx}")
+        finally:
+            if pending:
+                self.insns_executed += pending
+                work(pending)
+            if not stack.freed:
+                mem.kfree(stack)
+
+    def _run_frame_slow(self, start_idx: int,
+                        caller_regs: Sequence[int],
+                        ctx_addr: Optional[int], depth: int) -> int:
+        """Decode-per-step executor (reference/differential baseline)."""
         if depth > 8:
             raise BpfRuntimeError("call depth exceeded at run time")
         mem = self.kernel.mem
@@ -152,16 +481,8 @@ class BpfVm:
                     if cls == isa.BPF_STX and \
                             (insn.opcode & isa.MODE_MASK) == \
                             isa.BPF_ATOMIC:
-                        # XADD: atomic read-modify-write
-                        width_mask = (1 << (size * 8)) - 1
-                        raw = mem.read(addr, size,
-                                       source=self.prog_tag)
-                        current = int.from_bytes(raw, "little")
-                        updated = (current + regs[insn.src]) \
-                            & width_mask
-                        mem.write(addr,
-                                  updated.to_bytes(size, "little"),
-                                  source=self.prog_tag)
+                        self._atomic_rmw(regs, insn.imm, addr, size,
+                                         insn.src, mem, self.prog_tag)
                         idx += 1
                         continue
                     value = regs[insn.src] if cls == isa.BPF_STX \
@@ -182,7 +503,7 @@ class BpfVm:
                     if op == isa.BPF_CALL:
                         if insn.src == isa.BPF_PSEUDO_CALL:
                             target = idx + insn.imm + 1
-                            regs[0] = self._run_frame(
+                            regs[0] = self._run_frame_slow(
                                 target, regs, None, depth + 1)
                         else:
                             regs[0] = self._call_helper(insn.imm, regs)
@@ -200,6 +521,54 @@ class BpfVm:
                 mem.kfree(stack)
 
     # -- instruction semantics -----------------------------------------------------
+
+    def _atomic_rmw(self, regs: List[int], imm: int, addr: int,
+                    size: int, src: int, mem: object,
+                    tag: str) -> None:
+        """One ``BPF_ATOMIC`` read-modify-write, selected by ``imm``.
+
+        Implements the Linux sub-op encoding: ADD/OR/AND/XOR
+        (optionally ``| BPF_FETCH`` to load the old value into the
+        source register), XCHG, and CMPXCHG (R0 is the comparand and
+        receives the old value).  Unknown sub-ops raise *before*
+        touching memory.
+        """
+        width_mask = (1 << (size * 8)) - 1
+        if imm == isa.BPF_CMPXCHG:
+            old = int.from_bytes(mem.read(addr, size, source=tag),
+                                 "little")
+            if old == (regs[0] & width_mask):
+                mem.write(addr,
+                          (regs[src] & width_mask).to_bytes(size,
+                                                            "little"),
+                          source=tag)
+            regs[0] = old
+            return
+        if imm == isa.BPF_XCHG:
+            old = int.from_bytes(mem.read(addr, size, source=tag),
+                                 "little")
+            mem.write(addr,
+                      (regs[src] & width_mask).to_bytes(size, "little"),
+                      source=tag)
+            regs[src] = old
+            return
+        op = imm & ~isa.BPF_FETCH
+        if op not in (isa.BPF_ADD, isa.BPF_OR, isa.BPF_AND,
+                      isa.BPF_XOR):
+            raise BpfRuntimeError(f"unsupported atomic op {imm:#x}")
+        old = int.from_bytes(mem.read(addr, size, source=tag),
+                             "little")
+        if op == isa.BPF_ADD:
+            new = (old + regs[src]) & width_mask
+        elif op == isa.BPF_OR:
+            new = (old | regs[src]) & width_mask
+        elif op == isa.BPF_AND:
+            new = (old & regs[src]) & width_mask
+        else:
+            new = (old ^ regs[src]) & width_mask
+        mem.write(addr, new.to_bytes(size, "little"), source=tag)
+        if imm & isa.BPF_FETCH:
+            regs[src] = old
 
     def _ld_imm64_value(self, insn: Insn, insns: List[Insn],
                         idx: int) -> int:
@@ -363,7 +732,9 @@ class BpfVm:
             ret = self._run_frame(callback_idx, [0, index, cb_ctx,
                                                  0, 0, 0], None, depth=1)
             executed += 1
-            if ret == 1:
+            # kernel bpf_loop stops on any nonzero callback return,
+            # not just 1
+            if ret != 0:
                 return executed
         remaining = nr_loops - executed
         if remaining > 0:

@@ -74,6 +74,20 @@ ALU_OP_NAMES = {
     BPF_ARSH: "arsh", BPF_END: "end",
 }
 
+# -- atomic sub-operations (imm of a BPF_STX|BPF_ATOMIC insn) -----------------
+#: modifier: also load the pre-op value back into the source register
+BPF_FETCH = 0x01
+#: atomic exchange (always fetches)
+BPF_XCHG = 0xE0 | BPF_FETCH
+#: atomic compare-and-exchange (R0 is the comparand and receives the
+#: old value)
+BPF_CMPXCHG = 0xF0 | BPF_FETCH
+
+ATOMIC_OP_NAMES = {
+    BPF_ADD: "add", BPF_OR: "or", BPF_AND: "and", BPF_XOR: "xor",
+    BPF_XCHG: "xchg", BPF_CMPXCHG: "cmpxchg",
+}
+
 # -- JMP operations -----------------------------------------------------------
 BPF_JA = 0x00
 BPF_JEQ = 0x10

@@ -30,6 +30,9 @@ from repro.ebpf.maps import (
     RingBufMap,
     TaskStorageMap,
 )
+from repro.ebpf.predecode import PredecodedProgram, predecode
+from repro.ebpf.progcache import CachedLoad, ProgramLoadCache, \
+    fingerprint
 from repro.ebpf.progs import ProgType
 from repro.ebpf.verifier.analyzer import (
     Verifier,
@@ -52,6 +55,8 @@ class LoadedProgram:
     insns: List[Insn]
     verifier_stats: VerifierStats
     jit: Optional[JitResult] = None
+    #: dispatch table over ``runnable_insns()``, attached at load time
+    predecoded: Optional[PredecodedProgram] = None
 
     def runnable_insns(self) -> List[Insn]:
         """What the CPU actually executes: JIT output when present."""
@@ -65,17 +70,24 @@ class BpfSubsystem:
                  registry: Optional[HelperRegistry] = None,
                  bugs: Optional[BugConfig] = None,
                  limits: Optional[VerifierLimits] = None,
-                 use_jit: bool = True) -> None:
+                 use_jit: bool = True,
+                 use_load_cache: bool = True,
+                 fast_path: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.registry = registry or build_default_registry()
         self.bugs = bugs or BugConfig()
         self.limits = limits or VerifierLimits()
         self.use_jit = use_jit
+        #: §3's signature-at-load-time model: accepted bytecode is
+        #: keyed by content hash so identical reloads skip the
+        #: verifier entirely
+        self.load_cache: Optional[ProgramLoadCache] = \
+            ProgramLoadCache() if use_load_cache else None
         self._maps: Dict[int, BpfMap] = {}
         self._progs: Dict[int, LoadedProgram] = {}
         self._next_fd = 3
         self._next_prog_id = 1
-        self.vm = BpfVm(kernel, self, self.bugs)
+        self.vm = BpfVm(kernel, self, self.bugs, fast_path=fast_path)
         #: the [22] sysctl: the kernel community's response to
         #: verifier distrust was to disallow unprivileged loading
         #: entirely — on by default since 2021
@@ -155,19 +167,45 @@ class BpfSubsystem:
             prune_states=prune_states,
             log_level=log_level,
         )
-        verifier = Verifier(insns, prog_type, self.registry,
-                            self._maps, config)
-        try:
-            stats = verifier.verify()
-        except VerifierInternalFault as fault:
-            self.kernel.log.record_oops(
-                self.kernel.clock.now_ns, str(fault),
-                category="use-after-free", source="verifier")
-            raise KernelOops(str(fault), source="verifier") from fault
-        jit = jit_compile(insns, self.bugs) if self.use_jit else None
+        cache = self.load_cache
+        cache_key: Optional[str] = None
+        cached: Optional[CachedLoad] = None
+        if cache is not None:
+            cache_key = fingerprint(insns, prog_type, config,
+                                    self._maps.items(), self.use_jit)
+            cached = cache.lookup(cache_key)
+        if cached is not None:
+            # §3's signature check: the bytes were accepted before
+            # under this exact configuration — replay the artifacts
+            stats = cached.stats_copy()
+            jit = cached.jit
+            decoded = cached.predecoded
+            self.kernel.log.log(
+                self.kernel.clock.now_ns,
+                f"bpf: verification cache hit for ({name}), "
+                f"skipping verifier")
+        else:
+            verifier = Verifier(insns, prog_type, self.registry,
+                                self._maps, config)
+            try:
+                stats = verifier.verify()
+            except VerifierInternalFault as fault:
+                self.kernel.log.record_oops(
+                    self.kernel.clock.now_ns, str(fault),
+                    category="use-after-free", source="verifier")
+                raise KernelOops(str(fault),
+                                 source="verifier") from fault
+            jit = jit_compile(insns, self.bugs) if self.use_jit \
+                else None
+            decoded = predecode(jit.insns if jit is not None
+                                else list(insns))
+            if cache is not None and cache_key is not None:
+                cache.insert(cache_key,
+                             CachedLoad(stats, jit, decoded))
         prog = LoadedProgram(
             prog_id=self._next_prog_id, name=name, prog_type=prog_type,
-            insns=list(insns), verifier_stats=stats, jit=jit)
+            insns=list(insns), verifier_stats=stats, jit=jit,
+            predecoded=decoded)
         self._next_prog_id += 1
         self._progs[prog.prog_id] = prog
         self.kernel.log.log(

@@ -73,6 +73,9 @@ class VerifierStats:
     max_states_per_insn: int = 0
     wall_time_s: float = 0.0
     log: List[str] = field(default_factory=list)
+    #: True when these stats were replayed from the load cache rather
+    #: than produced by a fresh verification run
+    from_cache: bool = False
 
 
 class Verifier:
@@ -585,25 +588,44 @@ class Verifier:
 
     def _do_atomic(self, state: VerifierState, insn: Insn,
                    insn_idx: int, size: int) -> None:
-        """``check_atomic``: currently the XADD subset."""
+        """``check_atomic``: ADD/OR/AND/XOR (± FETCH), XCHG,
+        CMPXCHG."""
         if insn.insn_class != isa.BPF_STX:
             self._reject(f"insn {insn_idx}: invalid atomic encoding")
-        if insn.imm != isa.BPF_ADD:
+        base_op = insn.imm & ~isa.BPF_FETCH
+        fetches = bool(insn.imm & isa.BPF_FETCH)
+        if insn.imm not in (isa.BPF_XCHG, isa.BPF_CMPXCHG) and \
+                base_op not in (isa.BPF_ADD, isa.BPF_OR, isa.BPF_AND,
+                                isa.BPF_XOR):
             self._reject(f"insn {insn_idx}: unsupported atomic op "
-                         f"{insn.imm:#x} (only XADD is modeled)")
+                         f"{insn.imm:#x}")
         if size not in (4, 8):
             self._reject(f"insn {insn_idx}: atomic operand must be "
                          "4 or 8 bytes")
         base = self._check_reg_read(state, insn.dst, insn_idx)
         value = self._check_reg_read(state, insn.src, insn_idx)
         if value.is_pointer:
-            self._reject(f"insn {insn_idx}: atomic add of a pointer "
-                         "leaks it into memory")
+            op_name = isa.ATOMIC_OP_NAMES.get(
+                insn.imm, isa.ATOMIC_OP_NAMES.get(base_op, "op"))
+            self._reject(f"insn {insn_idx}: atomic {op_name} of a "
+                         "pointer leaks it into memory")
+        if insn.imm == isa.BPF_CMPXCHG:
+            # R0 is the comparand and receives the old value
+            comparand = self._check_reg_read(state, 0, insn_idx)
+            if comparand.is_pointer:
+                self._reject(f"insn {insn_idx}: atomic cmpxchg "
+                             "comparand in R0 is a pointer")
         # read-modify-write: both directions must be legal
         self._access(state, insn_idx, base, insn.off, size,
                      write=False, dst_regno=None)
         self._access(state, insn_idx, base, insn.off, size,
                      write=True, value_reg=RegState.unknown_scalar())
+        if insn.imm == isa.BPF_CMPXCHG:
+            state.cur.regs[0] = RegState.unknown_scalar()
+        elif fetches:
+            # the old value lands in the source register
+            self._check_reg_write(insn.src, insn_idx)
+            state.cur.regs[insn.src] = RegState.unknown_scalar()
 
     def _access(self, state: VerifierState, insn_idx: int,
                 base: RegState, off: int, size: int, *, write: bool,

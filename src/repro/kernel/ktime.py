@@ -10,7 +10,7 @@ milliseconds of host time.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 NSEC_PER_USEC = 1_000
 NSEC_PER_MSEC = 1_000_000
@@ -50,6 +50,8 @@ class VirtualClock:
         if delta_ns == 0:
             return
         self._now_ns += delta_ns
+        if not self._tick_callbacks:
+            return  # fast path: nothing is watching the clock
         now = self._now_ns
         for __, callback in self._tick_callbacks:
             callback(now)
@@ -60,8 +62,20 @@ class VirtualClock:
         self._tick_callbacks.append((name, callback))
 
     def remove_tick_callback(self, name: str) -> None:
-        """Unregister every tick callback registered under ``name``."""
+        """Unregister every tick callback registered under ``name``.
+
+        Rebinds the list rather than mutating it, so a callback may
+        remove itself (or others) while ``advance`` is iterating.
+        """
         self._tick_callbacks = [
             (cb_name, cb) for cb_name, cb in self._tick_callbacks
             if cb_name != name
         ]
+
+    def tick_callback_count(self, name: Optional[str] = None) -> int:
+        """How many tick callbacks are registered (optionally only
+        those under ``name``) — leak checks use this."""
+        if name is None:
+            return len(self._tick_callbacks)
+        return sum(1 for cb_name, __ in self._tick_callbacks
+                   if cb_name == name)

@@ -62,6 +62,48 @@ class TestWatchdog:
         clock.advance(100)
         assert a.fired and not b.fired
 
+    def test_fire_removes_tick_callback(self):
+        """Regression: a fired watchdog used to leave its tick hook on
+        the clock forever when the extension was killed before
+        ``disarm()`` ran."""
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100, name="leaky")
+        dog.arm()
+        clock.advance(150)
+        assert dog.fired
+        assert clock.tick_callback_count() == 0
+
+    def test_no_callback_growth_over_repeated_timeouts(self):
+        """Arm-and-fire many times without ever disarming: the clock
+        must not accumulate stale callbacks."""
+        clock = VirtualClock()
+        for __ in range(50):
+            dog = Watchdog(clock, budget_ns=10, name="ext")
+            dog.arm()
+            clock.advance(20)   # fires; extension "killed", no disarm
+            assert dog.fired
+        assert clock.tick_callback_count() == 0
+
+    def test_rearm_without_disarm_keeps_one_callback(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=100, name="re")
+        dog.arm()
+        dog.arm()
+        dog.arm()
+        assert clock.tick_callback_count() == 1
+        dog.disarm()
+        assert clock.tick_callback_count() == 0
+
+    def test_fired_watchdog_stays_fired_until_rearm(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, budget_ns=10)
+        dog.arm()
+        clock.advance(50)
+        assert dog.fired
+        clock.advance(50)
+        assert dog.fired     # still reports the timeout
+        assert not dog.armed
+
 
 class TestCleanupList:
     def make_resource(self, log, name):
@@ -168,6 +210,59 @@ class TestMemoryPool:
         kernel = Kernel()
         pool = MemoryPool(kernel, kernel.current_cpu)
         assert pool.alloc(0) is None
+
+    def test_zero_alloc_is_not_an_exhaustion_failure(self):
+        """alloc(0) is a defined refusal, not pool exhaustion: it must
+        not inflate the failure counter operators alert on."""
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu)
+        pool.alloc(0)
+        pool.alloc(0)
+        assert pool.failed_allocs == 0
+
+    def test_negative_alloc_raises(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu)
+        with pytest.raises(ValueError):
+            pool.alloc(-8)
+
+    def test_destroy_returns_region_to_kernel(self):
+        """Regression: the pool's backing region was never kfree'd, so
+        every framework instance leaked its pool for the kernel's
+        lifetime."""
+        kernel = Kernel()
+        baseline = kernel.mem.live_bytes
+        pool = MemoryPool(kernel, kernel.current_cpu, size=4096)
+        assert kernel.mem.live_bytes == baseline + 4096
+        pool.destroy()
+        assert kernel.mem.live_bytes == baseline
+        assert "safelang_pool" not in kernel.current_cpu.storage
+
+    def test_destroy_idempotent(self):
+        kernel = Kernel()
+        pool = MemoryPool(kernel, kernel.current_cpu, size=256)
+        pool.destroy()
+        pool.destroy()   # second teardown is a no-op, not a double-free
+
+    def test_framework_shutdown_frees_pool(self):
+        from repro.core.framework import SafeExtensionFramework
+        kernel = Kernel()
+        baseline = kernel.mem.live_bytes
+        fw = SafeExtensionFramework(kernel)
+        loaded = fw.install("fn prog() -> i64 { return 7; }", "tiny")
+        assert fw.run_on_trace(loaded).value == 7
+        fw.shutdown()
+        assert kernel.mem.live_bytes == baseline
+
+    def test_framework_usable_leak_free_across_instances(self):
+        """Create/destroy many frameworks on one kernel: no growth."""
+        from repro.core.framework import SafeExtensionFramework
+        kernel = Kernel()
+        baseline = kernel.mem.live_bytes
+        for __ in range(10):
+            fw = SafeExtensionFramework(kernel)
+            fw.shutdown()
+        assert kernel.mem.live_bytes == baseline
 
     def test_vec_backed_by_pool(self):
         kernel = Kernel()

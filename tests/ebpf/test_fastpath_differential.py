@@ -1,0 +1,276 @@
+"""Differential tests: predecoded fast path vs decode-per-step path.
+
+The fast engine must be observationally identical to the reference
+interpreter — same return values, same ``insns_executed``, same
+virtual-clock totals, same oops behaviour.  Two layers of evidence:
+
+* the full eBPF attack corpus, run through both engines, must land on
+  the same :class:`Outcome` and the same kernel taint/oops state;
+* a battery of direct programs (ALU mixes, stack traffic, jumps,
+  subprogs, ``bpf_loop``, atomics, tail calls, and an unverified
+  wild-pointer crasher) must produce bit-identical results and
+  identical accounting on both engines.
+"""
+
+import pytest
+
+from repro.ebpf import interpreter as interp_mod
+from repro.ebpf import isa
+from repro.ebpf.asm import Asm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R6, R10
+from repro.ebpf.loader import BpfSubsystem
+from repro.ebpf.progs import ProgType
+from repro.attacks.corpus import build_corpus, run_case
+from repro.kernel import Kernel
+
+EBPF_CASES = [c for c in build_corpus() if c.framework == "ebpf"]
+
+
+def _observe(case, fast):
+    """Run one corpus case on a fresh kernel with the given engine."""
+    old = interp_mod.DEFAULT_FAST_PATH
+    interp_mod.DEFAULT_FAST_PATH = fast
+    try:
+        kernel = Kernel()
+        outcome = run_case(case, kernel=kernel)
+        oopses = [(o.category, o.source) for o in kernel.log.oopses]
+        return outcome, kernel.log.tainted, oopses
+    finally:
+        interp_mod.DEFAULT_FAST_PATH = old
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize(
+        "case", EBPF_CASES, ids=[c.case_id for c in EBPF_CASES])
+    def test_engines_agree_on_attack_corpus(self, case):
+        slow = _observe(case, fast=False)
+        fast = _observe(case, fast=True)
+        assert fast == slow, (
+            f"{case.case_id}: fast path diverged "
+            f"(slow={slow}, fast={fast})")
+
+
+def _run_both(build, prog_type=ProgType.KPROBE):
+    """Load and run the same program on both engines; assert identical
+    return value, instruction count and virtual-clock total, then
+    return the (shared) observation."""
+    seen = []
+    for fast in (False, True):
+        kernel = Kernel()
+        bpf = BpfSubsystem(kernel, fast_path=fast)
+        prog = bpf.load_program(build(bpf), prog_type, "diff")
+        ret = bpf.run_on_current_task(prog)
+        seen.append((ret, bpf.vm.insns_executed, kernel.clock.now_ns))
+    assert seen[0] == seen[1], (
+        f"engines diverged: slow={seen[0]}, fast={seen[1]}")
+    return seen[0]
+
+
+class TestDirectDifferential:
+    def test_alu_mix(self):
+        def build(bpf):
+            asm = Asm().mov64_imm(R0, 1)
+            for i, op in enumerate(
+                    ("add", "mul", "or", "xor", "and", "sub",
+                     "lsh", "rsh", "arsh", "div", "mod")):
+                asm.alu64_imm(op, R0, i + 3)
+            asm.alu32_imm("mov", R2, -5)
+            asm.alu32_imm("add", R2, 7)
+            asm.alu64_reg("add", R0, R2)
+            asm.neg64(R0)
+            return asm.exit_().program()
+        _run_both(build)
+
+    def test_stack_traffic(self):
+        def build(bpf):
+            asm = Asm()
+            for i, size in enumerate((1, 2, 4, 8)):
+                asm.st_imm(size, R10, -8 * (i + 1), 0x1122334455 + i)
+            asm.mov64_imm(R0, 0)
+            for i, size in enumerate((1, 2, 4, 8)):
+                asm.ldx(size, R2, R10, -8 * (i + 1))
+                asm.alu64_reg("add", R0, R2)
+            asm.mov64_imm(R3, -1)
+            asm.stx(8, R10, -40, R3)
+            asm.ldx(4, R2, R10, -40)
+            asm.alu64_reg("add", R0, R2)
+            return asm.exit_().program()
+        _run_both(build)
+
+    def test_jump_ladder(self):
+        def build(bpf):
+            return (Asm()
+                    .mov64_imm(R0, 0)
+                    .mov64_imm(R2, 10)
+                    .label("loop")
+                    .alu64_reg("add", R0, R2)
+                    .alu64_imm("sub", R2, 1)
+                    .jmp_imm("jsgt", R2, 0, "loop")
+                    .mov64_imm(R3, -4)
+                    .jmp_imm("jslt", R3, 0, "neg")
+                    .mov64_imm(R0, 0)
+                    .label("neg")
+                    .alu32_imm("mov", R2, 5)
+                    .jmp32_imm("jeq", R2, 5, "done")
+                    .mov64_imm(R0, 0)
+                    .label("done")
+                    .exit_()
+                    .program())
+        _run_both(build)
+
+    def test_ld_imm64_and_wide_constants(self):
+        def build(bpf):
+            return (Asm()
+                    .ld_imm64(R0, 0x1234_5678_9ABC_DEF0)
+                    .ld_imm64(R2, -1)
+                    .alu64_reg("xor", R0, R2)
+                    .exit_()
+                    .program())
+        _run_both(build)
+
+    def test_subprog_call(self):
+        def build(bpf):
+            return (Asm()
+                    .mov64_imm(R1, 40)
+                    .mov64_imm(R2, 2)
+                    .call_subprog("add")
+                    .exit_()
+                    .label("add")
+                    .mov64_reg(R0, R1)
+                    .alu64_reg("add", R0, R2)
+                    .exit_()
+                    .program())
+        assert _run_both(build)[0] == 42
+
+    def test_bpf_loop(self):
+        def build(bpf):
+            return (Asm()
+                    .mov64_imm(R1, 25)
+                    .ld_func(R2, "body")
+                    .mov64_imm(R3, 0)
+                    .mov64_imm(R4, 0)
+                    .call(ids.BPF_FUNC_loop)
+                    .exit_()
+                    .label("body")
+                    .mov64_imm(R0, 0)
+                    .exit_()
+                    .program())
+        assert _run_both(build)[0] == 25
+
+    def test_atomics_all_sub_ops(self):
+        def build(bpf):
+            asm = (Asm()
+                   .st_imm(8, R10, -8, 0b1100)
+                   .mov64_imm(R2, 0b1010))
+            for op in ("add", "or", "and", "xor"):
+                asm.atomic_op(op, 8, R10, -8, R2, fetch=True)
+            asm.mov64_imm(R2, 77)
+            asm.atomic_xchg(8, R10, -8, R2)
+            asm.mov64_reg(R0, R2)      # old value from xchg
+            asm.mov64_imm(R2, 5)
+            asm.atomic_cmpxchg(8, R10, -8, R2)
+            asm.ldx(8, R2, R10, -8)
+            asm.alu64_reg("add", R0, R2)
+            return asm.exit_().program()
+        _run_both(build)
+
+    def test_map_access(self):
+        def build(bpf):
+            amap = bpf.create_map("array", key_size=4, value_size=8,
+                                  max_entries=4)
+            return (Asm()
+                    .st_imm(4, R10, -4, 0)
+                    .mov64_reg(R2, R10)
+                    .alu64_imm("add", R2, -4)
+                    .ld_map_fd(R1, amap.map_fd)
+                    .call(ids.BPF_FUNC_map_lookup_elem)
+                    .jmp_imm("jeq", R0, 0, "miss")
+                    .st_imm(8, R0, 0, 123)
+                    .ldx(8, R0, R0, 0)
+                    .exit_()
+                    .label("miss")
+                    .mov64_imm(R0, 0)
+                    .exit_()
+                    .program())
+        assert _run_both(build)[0] == 123
+
+    def test_tail_call(self):
+        seen = []
+        for fast in (False, True):
+            kernel = Kernel()
+            bpf = BpfSubsystem(kernel, fast_path=fast)
+            pa = bpf.create_map("prog_array", max_entries=4)
+            target = bpf.load_program(
+                Asm().mov64_imm(R0, 777).exit_().program(),
+                ProgType.KPROBE, "target")
+            pa.set_prog(0, target)
+            caller = bpf.load_program(
+                (Asm()
+                 .mov64_reg(R6, R1)
+                 .mov64_reg(R1, R6)
+                 .ld_map_fd(R2, pa.map_fd)
+                 .mov64_imm(R3, 0)
+                 .call(ids.BPF_FUNC_tail_call)
+                 .mov64_imm(R0, 1)
+                 .exit_()
+                 .program()), ProgType.KPROBE, "caller")
+            ret = bpf.run_on_current_task(caller)
+            seen.append((ret, bpf.vm.insns_executed,
+                         kernel.clock.now_ns))
+        assert seen[0] == seen[1]
+        assert seen[0][0] == 777
+
+    def test_unverified_wild_pointer_oopses_identically(self):
+        """Both engines must fault the same way on a raw store through
+        a garbage pointer (no verifier in the loop)."""
+        from repro.ebpf.interpreter import BpfVm
+        from repro.ebpf.loader import LoadedProgram
+        from repro.ebpf.verifier.analyzer import VerifierStats
+        from repro.errors import KernelOops
+
+        seen = []
+        for fast in (False, True):
+            kernel = Kernel()
+            bpf = BpfSubsystem(kernel)
+            vm = BpfVm(kernel, bpf, fast_path=fast)
+            insns = (Asm()
+                     .ld_imm64(R2, 0xDEAD_BEEF_0000)
+                     .st_imm(8, R2, 0, 1)
+                     .mov64_imm(R0, 0)
+                     .exit_()
+                     .program())
+            prog = LoadedProgram(1, "wild", ProgType.KPROBE, insns,
+                                 VerifierStats())
+            regs = kernel.mem.kmalloc(64, type_name="pt_regs",
+                                      owner="test")
+            with pytest.raises(KernelOops):
+                vm.run(prog, regs.base)
+            seen.append((vm.insns_executed, kernel.log.tainted,
+                         [(o.category, o.source)
+                          for o in kernel.log.oopses]))
+        assert seen[0] == seen[1]
+
+    def test_decode_error_matches(self):
+        """A bogus opcode raises the same message on both engines."""
+        from repro.ebpf.interpreter import BpfVm
+        from repro.ebpf.isa import Insn
+        from repro.ebpf.loader import LoadedProgram
+        from repro.ebpf.verifier.analyzer import VerifierStats
+        from repro.errors import BpfRuntimeError
+
+        msgs = []
+        for fast in (False, True):
+            kernel = Kernel()
+            bpf = BpfSubsystem(kernel)
+            vm = BpfVm(kernel, bpf, fast_path=fast)
+            insns = [Insn(0xFF, 0, 0, 0, 0),
+                     Insn(isa.BPF_JMP | isa.BPF_EXIT)]
+            prog = LoadedProgram(1, "junk", ProgType.KPROBE, insns,
+                                 VerifierStats())
+            regs = kernel.mem.kmalloc(64, type_name="pt_regs",
+                                      owner="test")
+            with pytest.raises(BpfRuntimeError) as err:
+                vm.run(prog, regs.base)
+            msgs.append(str(err.value))
+        assert msgs[0] == msgs[1]

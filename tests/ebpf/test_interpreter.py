@@ -352,3 +352,24 @@ class TestLoopFastForward:
              .exit_()
              .program()), ProgType.KPROBE, "stop")
         assert bpf.run_on_current_task(prog) == 1
+
+    def test_early_exit_on_any_nonzero_return(self, bpf):
+        """Kernel ``bpf_loop`` stops on *any* nonzero callback return
+        — regression for the bug where only ``ret == 1`` stopped the
+        loop and a callback returning 2 ran all million iterations."""
+        prog = bpf.load_program(
+            (Asm()
+             .mov64_imm(R1, 1_000_000)
+             .ld_func(R2, "cb")
+             .mov64_imm(R3, 0)
+             .mov64_imm(R4, 0)
+             .call(ids.BPF_FUNC_loop)
+             .exit_()
+             .label("cb")
+             .mov64_imm(R0, 2)    # nonzero, but not 1
+             .exit_()
+             .program()), ProgType.KPROBE, "stop2")
+        before = bpf.vm.insns_executed
+        assert bpf.run_on_current_task(prog) == 1
+        # one concrete callback iteration, not a million
+        assert bpf.vm.insns_executed - before < 100

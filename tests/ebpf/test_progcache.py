@@ -1,0 +1,137 @@
+"""Verification load-cache tests (§3's signature-at-load-time model)."""
+
+import pytest
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.isa import R0, R2, R10
+from repro.ebpf.loader import BpfSubsystem
+from repro.ebpf.progs import ProgType
+from repro.errors import VerifierError
+from repro.kernel import Kernel
+
+
+def counter_prog(n=5):
+    asm = Asm().mov64_imm(R0, 0)
+    for i in range(n):
+        asm.alu64_imm("add", R0, i)
+    return asm.exit_().program()
+
+
+def bad_prog():
+    # reads uninitialized R2: always rejected
+    return (Asm()
+            .mov64_reg(R0, R2)
+            .exit_()
+            .program())
+
+
+class TestLoadCache:
+    def test_identical_reload_hits(self, bpf):
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "b")
+        assert bpf.load_cache.hits == 1
+        assert bpf.load_cache.misses == 1
+        assert bpf.load_cache.hit_rate == 0.5
+
+    def test_cached_stats_marked(self, bpf):
+        first = bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        second = bpf.load_program(counter_prog(), ProgType.KPROBE, "b")
+        assert not first.verifier_stats.from_cache
+        assert second.verifier_stats.from_cache
+        # the replayed stats describe the original verification run
+        assert second.verifier_stats.insns_processed == \
+            first.verifier_stats.insns_processed
+
+    def test_cached_artifacts_shared(self, bpf):
+        first = bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        second = bpf.load_program(counter_prog(), ProgType.KPROBE, "b")
+        assert second.predecoded is first.predecoded
+        assert second.jit is first.jit
+
+    def test_cached_program_still_runs(self, bpf):
+        expected = sum(range(5))
+        first = bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        second = bpf.load_program(counter_prog(), ProgType.KPROBE, "b")
+        assert bpf.run_on_current_task(first) == expected
+        assert bpf.run_on_current_task(second) == expected
+
+    def test_different_bytecode_misses(self, bpf):
+        bpf.load_program(counter_prog(5), ProgType.KPROBE, "a")
+        bpf.load_program(counter_prog(6), ProgType.KPROBE, "b")
+        assert bpf.load_cache.hits == 0
+        assert bpf.load_cache.misses == 2
+
+    def test_prog_type_is_part_of_the_key(self, bpf):
+        program = (Asm().mov64_imm(R0, 1).exit_().program())
+        bpf.load_program(program, ProgType.KPROBE, "a")
+        bpf.load_program(program, ProgType.SOCKET_FILTER, "b")
+        assert bpf.load_cache.hits == 0
+
+    def test_verifier_config_is_part_of_the_key(self, bpf):
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "a",
+                         prune_states=True)
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "b",
+                         prune_states=False)
+        assert bpf.load_cache.hits == 0
+        assert bpf.load_cache.misses == 2
+
+    def test_map_shape_is_part_of_the_key(self, kernel):
+        """Same bytecode, differently-shaped maps: must re-verify.
+
+        The verifier's bounds checks depend on value_size, so a cache
+        collision here would replay an acceptance that no longer
+        holds."""
+        from repro.ebpf.helpers import ids
+        for value_size in (8, 16):
+            bpf = BpfSubsystem(kernel)
+            amap = bpf.create_map("array", key_size=4,
+                                  value_size=value_size, max_entries=1)
+            program = (Asm()
+                       .st_imm(4, R10, -4, 0)
+                       .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+                       .ld_map_fd(R0, amap.map_fd)
+                       .mov64_imm(R0, 0)
+                       .exit_()
+                       .program())
+            bpf.load_program(program, ProgType.KPROBE, "m")
+        # separate subsystems: just prove the fingerprints differ
+        from repro.ebpf.progcache import fingerprint
+        from repro.ebpf.verifier.analyzer import VerifierConfig
+        keys = set()
+        for value_size in (8, 16):
+            bpf = BpfSubsystem(kernel)
+            amap = bpf.create_map("array", key_size=4,
+                                  value_size=value_size, max_entries=1)
+            keys.add(fingerprint(counter_prog(), ProgType.KPROBE,
+                                 VerifierConfig(), bpf._maps.items(),
+                                 True))
+        assert len(keys) == 2
+
+    def test_rejections_are_not_cached(self, bpf):
+        for name in ("a", "b"):
+            with pytest.raises(VerifierError):
+                bpf.load_program(bad_prog(), ProgType.KPROBE, name)
+        assert bpf.load_cache.hits == 0
+        assert bpf.load_cache.misses == 2
+        assert len(bpf.load_cache) == 0
+
+    def test_lru_eviction(self, bpf):
+        bpf.load_cache.max_entries = 2
+        bpf.load_program(counter_prog(3), ProgType.KPROBE, "a")
+        bpf.load_program(counter_prog(4), ProgType.KPROBE, "b")
+        bpf.load_program(counter_prog(5), ProgType.KPROBE, "c")
+        assert len(bpf.load_cache) == 2
+        # "a" was evicted: reloading it is a miss again
+        bpf.load_program(counter_prog(3), ProgType.KPROBE, "a2")
+        assert bpf.load_cache.hits == 0
+
+    def test_cache_can_be_disabled(self, kernel):
+        bpf = BpfSubsystem(kernel, use_load_cache=False)
+        assert bpf.load_cache is None
+        prog = bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        assert bpf.run_on_current_task(prog) == sum(range(5))
+
+    def test_hit_is_logged(self, bpf, kernel):
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "a")
+        bpf.load_program(counter_prog(), ProgType.KPROBE, "b")
+        assert kernel.log.grep("verification cache hit")
