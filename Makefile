@@ -6,11 +6,15 @@
 test:
 	PYTHONPATH=src python -m pytest -x -q
 
-# Interpreter/load-cache throughput. Writes BENCH_throughput.json and
-# FAILS if the fast-path speedup ratio regresses more than 20% below
-# benchmarks/throughput_baseline.json.
+# Interpreter/load-cache throughput plus telemetry overhead. Writes
+# BENCH_throughput.json (fast-path speedup ratio gated at 80% of
+# benchmarks/throughput_baseline.json) and BENCH_obs_overhead.json
+# (stats-off dispatch ratio gated at 95% of
+# benchmarks/obs_overhead_baseline.json — the "telemetry is free when
+# off" contract).
 bench:
-	PYTHONPATH=src python -m pytest benchmarks/test_bench_throughput.py -q
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_throughput.py \
+		benchmarks/test_bench_obs_overhead.py -q
 
 # Every paper figure/table benchmark.
 bench-all:

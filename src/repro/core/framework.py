@@ -71,17 +71,15 @@ class SafeExtensionFramework:
 
     def run(self, loaded: LoadedExtension,
             ctx: Optional[KernelResource] = None) -> RunResult:
-        """Run with a pre-built context handle (or none)."""
-        if loaded.watchdog_budget_ns is not None:
-            saved = self.vm.watchdog_budget_ns
-            self.vm.watchdog_budget_ns = loaded.watchdog_budget_ns
-            try:
-                return self.vm.run(loaded.program, loaded.name,
-                                   loaded.maps, ctx)
-            finally:
-                self.vm.watchdog_budget_ns = saved
+        """Run with a pre-built context handle (or none).
+
+        The per-extension budget is passed *through* to the VM rather
+        than swapped into shared VM state, so nested runs (one
+        extension's hook firing another) each keep their own budget —
+        the save/restore this replaces was not re-entrancy-safe."""
         return self.vm.run(loaded.program, loaded.name, loaded.maps,
-                           ctx)
+                           ctx,
+                           watchdog_budget_ns=loaded.watchdog_budget_ns)
 
     def run_on_packet(self, loaded: LoadedExtension,
                       payload: bytes) -> RunResult:

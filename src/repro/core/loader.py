@@ -96,6 +96,14 @@ class SafeLoader:
             load_time_s=time.perf_counter() - start)
         self._next_id += 1
         self.loaded.append(loaded)
+        # the signature check + fixup IS this framework's load-time
+        # validation, so it lands in the same "verify" stage column
+        # the eBPF verifier reports into — that is the paper's
+        # comparison (Figure 5 vs Figure 1)
+        self.kernel.telemetry.record_load(
+            "safelang", ext.name, prog_id=loaded.ext_id,
+            cache_hit=False,
+            verify_ns=int(loaded.load_time_s * 1e9))
         self.kernel.log.log(
             self.kernel.clock.now_ns,
             f"safelang: loaded extension {loaded.ext_id} ({ext.name}) "

@@ -62,6 +62,7 @@ class MemoryPool:
         aligned = (size + 7) & ~7
         if self._top + aligned > self.size:
             self.failed_allocs += 1
+            self.kernel.telemetry.record_pool_failure(self.cpu.cpu_id)
             return None
         block = PoolBlock(self._top, size)
         self._top += aligned

@@ -12,7 +12,7 @@ extension mid-execution the way a timer interrupt would.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.kernel.ktime import VirtualClock
 
@@ -21,12 +21,17 @@ class Watchdog:
     """One armed watchdog for one extension invocation."""
 
     def __init__(self, clock: VirtualClock, budget_ns: int,
-                 name: str = "extension") -> None:
+                 name: str = "extension",
+                 on_fire: Optional[Callable[["Watchdog"], None]] = None
+                 ) -> None:
         if budget_ns <= 0:
             raise ValueError("watchdog budget must be positive")
         self.clock = clock
         self.budget_ns = budget_ns
         self.name = name
+        #: invoked exactly once per firing, at the clock tick that
+        #: exhausts the budget (telemetry hooks in here)
+        self.on_fire = on_fire
         self._deadline: Optional[int] = None
         self._fired = False
         self._callback_name = f"watchdog:{name}:{id(self)}"
@@ -65,6 +70,8 @@ class Watchdog:
             self._fired = True
             self._deadline = None
             self.clock.remove_tick_callback(self._callback_name)
+            if self.on_fire is not None:
+                self.on_fire(self)
 
     def remaining_ns(self) -> int:
         """Budget left; 0 when expired or disarmed."""

@@ -136,24 +136,42 @@ class ExtensionVm:
 
     def run(self, program: ast.Program, prog_name: str,
             maps: Sequence[object], ctx: Optional[KernelResource],
-            entry: str = "prog") -> RunResult:
+            entry: str = "prog",
+            watchdog_budget_ns: Optional[int] = None) -> RunResult:
         """Run the entry function with full runtime protection.
 
         Returns a :class:`RunResult`; watchdog kills and panics are
-        *contained* — recorded in the result, kernel intact."""
+        *contained* — recorded in the result, kernel intact.
+
+        ``watchdog_budget_ns`` overrides the VM default for this
+        invocation only — the budget travels with the call rather
+        than through shared VM state, so per-extension budgets stay
+        correct even when one extension's run nests inside another's
+        (a hook chain running two extensions, say).
+
+        While ``telemetry.stats_enabled`` is on, the invocation is
+        folded into the program's run stats (``run_cnt``,
+        ``run_time_ns``, steps, kcrate crossings); watchdog fires and
+        panics are counted unconditionally."""
         fn = program.function(entry)
         if fn is None:
             raise ExtensionPanic(f"no entry function {entry!r}")
 
+        telemetry = self.kernel.telemetry
+        budget = self.watchdog_budget_ns \
+            if watchdog_budget_ns is None else watchdog_budget_ns
         cleanup = CleanupList(pool=self.pool)
         rt = RtEnv(self.kernel, prog_name, maps, cleanup, self.pool)
-        watchdog = Watchdog(self.kernel.clock, self.watchdog_budget_ns,
-                            name=prog_name)
+        watchdog = Watchdog(
+            self.kernel.clock, budget, name=prog_name,
+            on_fire=lambda wd: telemetry.record_watchdog_fire(
+                "safelang", prog_name, wd.budget_ns))
         guard = StackGuard()
         runner = _Runner(self, program, rt, watchdog, guard)
 
         rcu = self.kernel.rcu
         cpu = self.kernel.current_cpu
+        start_ns = self.kernel.clock.now_ns
         rcu.read_lock(holder=rt.holder)
         cpu.preempt_disable()
         watchdog.arm()
@@ -169,6 +187,7 @@ class ExtensionVm:
                                reason=f"{exc} ({ran} resources "
                                       "cleaned)")
         except (ExtensionPanic, StackOverflow, MemoryError) as exc:
+            telemetry.record_panic("safelang", prog_name, str(exc))
             ran = cleanup.terminate()
             result = RunResult(value=-1, steps=runner.steps,
                                panicked=True,
@@ -180,6 +199,12 @@ class ExtensionVm:
             cpu.preempt_enable()
             rcu.read_unlock()
         result.kcrate_calls = rt.kcrate_calls
+        if telemetry.stats_enabled:
+            telemetry.record_run(
+                "safelang", prog_name,
+                run_time_ns=self.kernel.clock.now_ns - start_ns,
+                insns=runner.steps,
+                helper_calls=rt.kcrate_calls)
         return result
 
 
@@ -533,6 +558,10 @@ class _Runner:
             args = [self._eval(arg, scopes, consume=True)
                     for arg in node.args]
             self.rt.kcrate_calls += 1
+            telemetry = self.vm.kernel.telemetry
+            if telemetry.stats_enabled:
+                telemetry.record_helper("safelang", self.rt.prog_name,
+                                        node.func)
             self.vm.kernel.work(api_fn.cost)
             resolved = [a.cell.value if isinstance(a, RefVal) else a
                         for a in args]
@@ -568,5 +597,10 @@ class _Runner:
                 for arg in node.args]
         resolved = [a.cell.value if isinstance(a, RefVal) else a
                     for a in args]
+        telemetry = self.vm.kernel.telemetry
+        if telemetry.stats_enabled:
+            telemetry.record_helper(
+                "safelang", self.rt.prog_name,
+                f"{node.receiver.ty}::{node.method}")
         self.vm.kernel.work(method.cost)
         return method.impl(self.rt, receiver, *resolved)

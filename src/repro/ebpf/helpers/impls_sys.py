@@ -122,7 +122,6 @@ def bpf_ringbuf_reserve(ctx: HelperCallContext) -> int:
 
 def bpf_ringbuf_submit(ctx: HelperCallContext) -> int:
     """``void bpf_ringbuf_submit(data, flags)``."""
-    bpf_map = ctx.vm.find_map_by_value_addr(ctx.args[0])
     for candidate in ctx.vm.subsystem.all_maps():
         if candidate.map_type == "ringbuf":
             if candidate.submit(ctx.args[0]) == 0:
@@ -131,9 +130,13 @@ def bpf_ringbuf_submit(ctx: HelperCallContext) -> int:
 
 
 def bpf_ringbuf_discard(ctx: HelperCallContext) -> int:
-    """``void bpf_ringbuf_discard(data, flags)`` — treated as submit
-    of nothing; the reservation is consumed either way."""
-    return bpf_ringbuf_submit(ctx)
+    """``void bpf_ringbuf_discard(data, flags)`` — the reservation is
+    consumed and its space returned without publishing a record."""
+    for candidate in ctx.vm.subsystem.all_maps():
+        if candidate.map_type == "ringbuf":
+            if candidate.discard(ctx.args[0]) == 0:
+                return 0
+    return -EINVAL
 
 
 def bpf_get_task_stack(ctx: HelperCallContext) -> int:

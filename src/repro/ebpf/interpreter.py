@@ -139,7 +139,31 @@ class BpfVm:
     def run(self, prog: object, ctx_addr: int) -> int:
         """Run a loaded program on a context address, with the real
         eBPF execution environment: RCU read lock held, preemption
-        off, tail calls honoured up to the chain limit."""
+        off, tail calls honoured up to the chain limit.
+
+        While ``telemetry.stats_enabled`` is on (the
+        ``kernel.bpf_stats_enabled`` model), each invocation is folded
+        into the program's ``run_cnt`` / ``run_time_ns`` / insn
+        accounting; when it is off this wrapper costs one attribute
+        test and nothing per instruction."""
+        telemetry = self.kernel.telemetry
+        if not telemetry.stats_enabled:
+            return self._run_locked(prog, ctx_addr)
+        clock = self.kernel.clock
+        start_ns = clock.now_ns
+        start_insns = self.insns_executed
+        start_helpers = self.helper_calls
+        try:
+            return self._run_locked(prog, ctx_addr)
+        finally:
+            telemetry.record_run(
+                "ebpf", prog.name,
+                run_time_ns=clock.now_ns - start_ns,
+                insns=self.insns_executed - start_insns,
+                helper_calls=self.helper_calls - start_helpers)
+
+    def _run_locked(self, prog: object, ctx_addr: int) -> int:
+        """The uninstrumented execution environment (see :meth:`run`)."""
         cpu = self.kernel.current_cpu
         rcu = self.kernel.rcu
         tail_calls = 0
@@ -660,6 +684,10 @@ class BpfVm:
         if spec is None or spec.impl is None:
             raise BpfRuntimeError(f"call to unknown helper {helper_id}")
         self.helper_calls += 1
+        telemetry = self.kernel.telemetry
+        if telemetry.stats_enabled and self._current_prog is not None:
+            telemetry.record_helper("ebpf", self._current_prog.name,
+                                    spec.name)
         # a helper call is far more work than one bytecode insn
         self.kernel.work(20 + spec.callgraph_size // 50)
         ctx = HelperCallContext(self.kernel, self, regs[1:6],

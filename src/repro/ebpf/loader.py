@@ -11,6 +11,7 @@ component.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -125,6 +126,8 @@ class BpfSubsystem:
         if with_spin_lock:
             bpf_map.add_spin_lock()
         self._maps[map_fd] = bpf_map
+        self.kernel.telemetry.record_map_created(bpf_map.map_type,
+                                                 map_fd)
         return bpf_map
 
     def map_by_fd(self, map_fd: int) -> Optional[BpfMap]:
@@ -134,6 +137,21 @@ class BpfSubsystem:
     def all_maps(self) -> List[BpfMap]:
         """Every live map."""
         return list(self._maps.values())
+
+    def destroy_map(self, map_fd: int) -> None:
+        """Tear a map down (close its last fd): release every backing
+        kernel allocation, including outstanding ringbuf reservations."""
+        bpf_map = self._maps.pop(map_fd, None)
+        if bpf_map is None:
+            raise BpfRuntimeError(f"no map with fd {map_fd}")
+        bpf_map.destroy()
+        self.kernel.telemetry.record_map_destroyed(bpf_map.map_type,
+                                                   map_fd)
+
+    def shutdown(self) -> None:
+        """Tear down every live map (subsystem teardown)."""
+        for map_fd in list(self._maps):
+            self.destroy_map(map_fd)
 
     # -- program loading (Figure 1: verifier -> JIT) ----------------------------
 
@@ -174,6 +192,8 @@ class BpfSubsystem:
             cache_key = fingerprint(insns, prog_type, config,
                                     self._maps.items(), self.use_jit)
             cached = cache.lookup(cache_key)
+        jit_ns = 0
+        predecode_ns = 0
         if cached is not None:
             # §3's signature check: the bytes were accepted before
             # under this exact configuration — replay the artifacts
@@ -195,10 +215,14 @@ class BpfSubsystem:
                     category="use-after-free", source="verifier")
                 raise KernelOops(str(fault),
                                  source="verifier") from fault
+            stage_start = time.perf_counter()
             jit = jit_compile(insns, self.bugs) if self.use_jit \
                 else None
+            jit_done = time.perf_counter()
             decoded = predecode(jit.insns if jit is not None
                                 else list(insns))
+            predecode_ns = int((time.perf_counter() - jit_done) * 1e9)
+            jit_ns = int((jit_done - stage_start) * 1e9)
             if cache is not None and cache_key is not None:
                 cache.insert(cache_key,
                              CachedLoad(stats, jit, decoded))
@@ -208,6 +232,17 @@ class BpfSubsystem:
             predecoded=decoded)
         self._next_prog_id += 1
         self._progs[prog.prog_id] = prog
+        self.kernel.telemetry.record_load(
+            "ebpf", name, prog_id=prog.prog_id,
+            cache_hit=cached is not None,
+            verify_ns=0 if cached is not None
+            else int(stats.wall_time_s * 1e9),
+            jit_ns=jit_ns, predecode_ns=predecode_ns,
+            insns=len(prog.insns),
+            insns_processed=0 if cached is not None
+            else stats.insns_processed,
+            states_explored=0 if cached is not None
+            else stats.states_explored)
         self.kernel.log.log(
             self.kernel.clock.now_ns,
             f"bpf: loaded prog {prog.prog_id} ({name}) "

@@ -47,6 +47,25 @@ class BpfMap:
         self.spin_lock = self.kernel.locks.create(
             f"map{self.map_fd}.lock")
 
+    def destroy(self) -> None:
+        """Release every backing kernel allocation (map teardown).
+
+        The base implementation frees the common storage shapes
+        (``storage``, ``per_cpu_storage``, ``_entries``); map types
+        with extra state override and chain up.  Idempotent."""
+        storage = getattr(self, "storage", None)
+        if storage is not None and not storage.freed:
+            self.kernel.mem.kfree(storage)
+        for alloc in getattr(self, "per_cpu_storage", ()) or ():
+            if not alloc.freed:
+                self.kernel.mem.kfree(alloc)
+        entries = getattr(self, "_entries", None)
+        if isinstance(entries, dict):
+            for alloc in entries.values():
+                if not getattr(alloc, "freed", True):
+                    self.kernel.mem.kfree(alloc)
+            entries.clear()
+
     # interface used by helpers; addresses are kernel virtual addresses
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """Address of the value for ``key``, or None."""
@@ -246,7 +265,15 @@ class HashMap(BpfMap):
 
 
 class RingBufMap(BpfMap):
-    """Ring buffer for extension -> userspace streaming."""
+    """Ring buffer for extension -> userspace streaming.
+
+    Reservation lifecycle matches the kernel's: ``reserve`` hands out
+    real kernel memory that stays live until the record is *consumed*
+    — ``submit`` copies it into the record stream and frees the
+    backing allocation, ``discard`` frees it and returns the space.
+    ``-ENOSPC`` refusals are counted (``drops`` /``dropped_bytes``)
+    and fed to the kernel's telemetry, and teardown releases any
+    reservation an extension abandoned."""
 
     map_type = BPF_MAP_TYPE_RINGBUF
 
@@ -258,18 +285,32 @@ class RingBufMap(BpfMap):
         self._used = 0
         self._records: List[bytes] = []
         self._reserved: Dict[int, "Allocation"] = {}
+        #: records refused with -ENOSPC since creation
+        self.drops = 0
+        #: bytes those refused records would have occupied
+        self.dropped_bytes = 0
+
+    def _note_drop(self, size: int) -> None:
+        self.drops += 1
+        self.dropped_bytes += size
+        self.kernel.telemetry.record_ringbuf_drop(self.map_fd, size)
 
     def output(self, data: bytes) -> int:
-        """Copy a record in; returns 0 or -ENOSPC."""
+        """Copy a record in; returns 0 or -ENOSPC (counted)."""
         if self._used + len(data) > self.capacity_bytes:
+            self._note_drop(len(data))
             return -28  # -ENOSPC
         self._records.append(data)
         self._used += len(data)
         return 0
 
     def reserve(self, size: int) -> Optional[int]:
-        """Reserve a record, returning its kernel address."""
-        if size <= 0 or self._used + size > self.capacity_bytes:
+        """Reserve a record, returning its kernel address (None on
+        bad size or -ENOSPC, the latter counted as a drop)."""
+        if size <= 0:
+            return None
+        if self._used + size > self.capacity_bytes:
+            self._note_drop(size)
             return None
         alloc = self.kernel.mem.kmalloc(
             size, type_name=f"ringbuf{self.map_fd}_rec", owner="bpf-map")
@@ -278,19 +319,46 @@ class RingBufMap(BpfMap):
         return alloc.base
 
     def submit(self, addr: int) -> int:
-        """Commit a reserved record."""
+        """Commit a reserved record: copy it into the stream and free
+        the backing allocation."""
         alloc = self._reserved.pop(addr, None)
         if alloc is None:
             return -22
         self._records.append(
             self.kernel.mem.read(alloc.base, alloc.size))
+        self.kernel.mem.kfree(alloc)
         return 0
+
+    def discard(self, addr: int) -> int:
+        """Abandon a reserved record: free the backing allocation and
+        return its space to the ring."""
+        alloc = self._reserved.pop(addr, None)
+        if alloc is None:
+            return -22
+        self._used -= alloc.size
+        self.kernel.mem.kfree(alloc)
+        return 0
+
+    def outstanding_reservations(self) -> int:
+        """Reservations neither submitted nor discarded yet."""
+        return len(self._reserved)
 
     def drain(self) -> List[bytes]:
         """Userspace consumes all records."""
         records, self._records = self._records, []
-        self._used = sum(len(r) for r in self._reserved.values())
+        self._used = sum(a.size for a in self._reserved.values())
         return records
+
+    def destroy(self) -> None:
+        """See :meth:`BpfMap.destroy` — also frees any outstanding
+        reservations (the leak this method exists to prevent)."""
+        for alloc in self._reserved.values():
+            if not alloc.freed:
+                self.kernel.mem.kfree(alloc)
+        self._reserved.clear()
+        self._records.clear()
+        self._used = 0
+        super().destroy()
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
@@ -305,11 +373,69 @@ class RingBufMap(BpfMap):
         return -22
 
 
-class PerfEventArrayMap(RingBufMap):
-    """Perf-event buffer for ``bpf_perf_event_output`` — modeled with
-    the same record stream as the ring buffer."""
+class PerfEventArrayMap(BpfMap):
+    """Perf-event buffer for ``bpf_perf_event_output``.
+
+    Unlike the single shared ring it used to inherit, this is an
+    honest per-CPU structure: each CPU owns an independent record
+    stream of ``max_entries`` bytes (the per-CPU mmap'd buffer of the
+    real ``BPF_MAP_TYPE_PERF_EVENT_ARRAY``), records land on whichever
+    CPU the program is running on, and a reader that falls behind
+    loses records on *that* CPU only — counted per CPU, like the perf
+    buffer's lost-sample records."""
 
     map_type = "perf_event_array"
+
+    def __init__(self, kernel: Kernel, map_fd: int,
+                 max_entries: int) -> None:
+        super().__init__(kernel, map_fd, 0, 8, max_entries)
+        self.capacity_bytes = max_entries
+        ncpu = len(kernel.cpus)
+        self._cpu_records: List[List[bytes]] = [[] for _ in range(ncpu)]
+        self._cpu_used: List[int] = [0] * ncpu
+        #: per-CPU counts of records refused with -ENOSPC
+        self.cpu_drops: List[int] = [0] * ncpu
+
+    def output(self, data: bytes) -> int:
+        """Append a record to the running CPU's stream; returns 0 or
+        -ENOSPC (counted against that CPU)."""
+        cpu = self.kernel.current_cpu.cpu_id
+        if self._cpu_used[cpu] + len(data) > self.capacity_bytes:
+            self.cpu_drops[cpu] += 1
+            self.kernel.telemetry.record_ringbuf_drop(
+                self.map_fd, len(data), cpu=cpu)
+            return -28  # -ENOSPC
+        self._cpu_records[cpu].append(data)
+        self._cpu_used[cpu] += len(data)
+        return 0
+
+    def records_for_cpu(self, cpu_id: int) -> List[bytes]:
+        """Peek at one CPU's pending records (no consumption)."""
+        return list(self._cpu_records[cpu_id])
+
+    def drain(self, cpu_id: Optional[int] = None) -> List[bytes]:
+        """Consume pending records — one CPU's stream, or (default)
+        every CPU's in CPU order."""
+        cpus = range(len(self._cpu_records)) if cpu_id is None \
+            else (cpu_id,)
+        out: List[bytes] = []
+        for cpu in cpus:
+            out.extend(self._cpu_records[cpu])
+            self._cpu_records[cpu] = []
+            self._cpu_used[cpu] = 0
+        return out
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        return None
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        return -22
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        return -22
 
 
 class TaskStorageMap(BpfMap):
@@ -339,6 +465,14 @@ class TaskStorageMap(BpfMap):
             return -2
         self.kernel.mem.kfree(alloc)
         return 0
+
+    def destroy(self) -> None:
+        """See :meth:`BpfMap.destroy` — frees every task's slot."""
+        for alloc in self._by_task_addr.values():
+            if not alloc.freed:
+                self.kernel.mem.kfree(alloc)
+        self._by_task_addr.clear()
+        super().destroy()
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""

@@ -21,6 +21,7 @@ from repro.kernel.objects import RequestSock, SkBuff, Sock, TaskStruct
 from repro.kernel.panic import KernelLog
 from repro.kernel.rcu import RcuSubsystem
 from repro.kernel.refcount import RefcountRegistry
+from repro.telemetry import Telemetry
 
 #: virtual nanoseconds charged per executed extension instruction
 NSEC_PER_INSN = 1
@@ -33,6 +34,11 @@ class Kernel:
                  funcdb: Optional[FunctionDatabase] = None) -> None:
         self.clock = VirtualClock()
         self.log = KernelLog()
+        #: the shared observability hub; ``telemetry.stats_enabled``
+        #: models the ``kernel.bpf_stats_enabled`` sysctl
+        self.telemetry = Telemetry(clock=self.clock)
+        self.log.on_oops = lambda oops: self.telemetry.record_oops(
+            oops.timestamp_ns, oops.category, oops.source)
         self.mem = KernelAddressSpace()
         self.mem.fault_hook = self._on_memory_fault
         self.rcu = RcuSubsystem(self.clock, self.log)

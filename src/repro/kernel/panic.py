@@ -11,7 +11,7 @@ contained" from "kernel compromised".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import KernelOops
 
@@ -47,6 +47,9 @@ class KernelLog:
         self.records: List[LogRecord] = []
         self.oopses: List[OopsRecord] = []
         self._tainted = False
+        #: invoked with each :class:`OopsRecord` as it is recorded;
+        #: the kernel wires this into the telemetry hub
+        self.on_oops: Optional[Callable[[OopsRecord], None]] = None
 
     @property
     def tainted(self) -> bool:
@@ -62,7 +65,10 @@ class KernelLog:
                     category: str, source: str) -> None:
         """Record an oops and taint the kernel."""
         self._tainted = True
-        self.oopses.append(OopsRecord(timestamp_ns, reason, category, source))
+        oops = OopsRecord(timestamp_ns, reason, category, source)
+        self.oopses.append(oops)
+        if self.on_oops is not None:
+            self.on_oops(oops)
         self.log(timestamp_ns,
                  f"BUG: {category}: {reason} (source: {source})",
                  level="emerg")

@@ -1,0 +1,78 @@
+"""Exporters: JSON snapshot and Prometheus text exposition format.
+
+Two serializations of the same :class:`~repro.telemetry.core.Telemetry`
+hub, matching the two ways real deployments consume kernel stats —
+``bpftool prog show --json`` style snapshots for tooling, and a
+Prometheus scrape body for fleet dashboards.  Both come with parsers
+so round-tripping is testable (and so a future multi-kernel aggregator
+can re-ingest its own output).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.telemetry.core import Telemetry
+
+
+def to_json(telemetry: Telemetry, indent: int = 2) -> str:
+    """The full telemetry snapshot as a JSON document."""
+    return json.dumps(telemetry.snapshot(), indent=indent,
+                      sort_keys=True) + "\n"
+
+
+def parse_json(text: str) -> Dict[str, object]:
+    """Parse a :func:`to_json` document back into a dict."""
+    return json.loads(text)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+
+
+def _render_labels(names: Tuple[str, ...], values: Tuple[str, ...],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"'
+             for n, v in list(zip(names, values)) + list(extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(telemetry: Telemetry) -> str:
+    """The metrics registry in Prometheus text exposition format
+    (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` buckets)."""
+    lines: List[str] = []
+    for family in telemetry.registry.families():
+        if len(family) == 0:
+            continue
+        lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, inst in family.samples():
+            base = _render_labels(family.label_names, label_values)
+            if family.kind in ("counter", "gauge"):
+                lines.append(f"{family.name}{base} {inst.value}")
+                continue
+            for bound, cumulative in inst.cumulative():
+                le = "+Inf" if bound is None else str(bound)
+                labels = _render_labels(family.label_names,
+                                        label_values, (("le", le),))
+                lines.append(
+                    f"{family.name}_bucket{labels} {cumulative}")
+            lines.append(f"{family.name}_sum{base} {inst.total}")
+            lines.append(f"{family.name}_count{base} {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse Prometheus text format into ``{sample_line_key: value}``
+    where the key is the full series name including its label set
+    (exactly as rendered).  Comment lines are skipped."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, raw_value = line.rpartition(" ")
+        out[series] = float(raw_value)
+    return out

@@ -6,8 +6,16 @@ Usage (each invocation boots a fresh simulated kernel):
     python -m repro.tools.bpftool prog run prog.s --payload 'hello' \
         --map array:4:8:16
     python -m repro.tools.bpftool prog dump prog.s
+    python -m repro.tools.bpftool prog stats prog.s --repeat 10
+    python -m repro.tools.bpftool stats dump prog.s --format prometheus
+    python -m repro.tools.bpftool trace log prog.s --repeat 3
     python -m repro.tools.bpftool helper list --class retire
     python -m repro.tools.bpftool bugs list
+
+The stats/trace commands model ``sysctl kernel.bpf_stats_enabled=1``
+followed by ``bpftool prog show``: the fresh kernel boots with run
+stats collection on, the program is loaded and run ``--repeat`` times,
+and the telemetry subsystem's view is printed.
 
 Programs are text-format assembly (see :mod:`repro.ebpf.asm_text`);
 ``map_fd[N]`` references resolve against ``--map`` definitions, which
@@ -29,6 +37,7 @@ from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
 from repro.errors import KernelSafetyViolation, VerifierError
 from repro.kernel import Kernel
+from repro.telemetry import to_json, to_prometheus
 
 
 def _make_subsystem(args) -> BpfSubsystem:
@@ -125,6 +134,89 @@ def cmd_prog_dump(args) -> int:
     return 0
 
 
+def _load_and_run_with_stats(args) -> Optional[BpfSubsystem]:
+    """Boot a kernel with run stats on, load ``args.file``, run it
+    ``args.repeat`` times.  Returns the subsystem (its telemetry holds
+    the data), or None when verification fails."""
+    bpf = _make_subsystem(args)
+    bpf.kernel.telemetry.enable()
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file)
+    except VerifierError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return None
+    payload = args.payload.encode("latin-1")
+    for _ in range(max(args.repeat, 0)):
+        try:
+            if prog_type in (ProgType.XDP, ProgType.SOCKET_FILTER,
+                             ProgType.CGROUP_SKB):
+                bpf.run_on_packet(prog, payload)
+            else:
+                bpf.run_on_current_task(prog)
+        except KernelSafetyViolation as violation:
+            # the compromise itself is telemetry (oops counters); stop
+            # repeating but still report what was collected
+            print(f"KERNEL COMPROMISED: {violation.category}: "
+                  f"{violation}", file=sys.stderr)
+            break
+    return bpf
+
+
+def cmd_prog_stats(args) -> int:
+    """``prog stats``: per-program run/load statistics.
+
+    Models ``bpftool prog show`` output after
+    ``sysctl kernel.bpf_stats_enabled=1``: run_cnt, run_time_ns, and
+    the derived average come straight from the telemetry table.
+    """
+    bpf = _load_and_run_with_stats(args)
+    if bpf is None:
+        return 1
+    rows = bpf.kernel.telemetry.progs.rows()
+    print(f"{'prog':24s} {'framework':9s} {'run_cnt':>8} "
+          f"{'run_time_ns':>12} {'avg_ns':>8} {'insns':>8} "
+          f"{'helpers':>8} {'wd':>3} {'oops':>4}")
+    for row in rows:
+        print(f"{row.name:24s} {row.framework:9s} {row.run_cnt:8d} "
+              f"{row.run_time_ns:12d} {row.avg_run_time_ns:8.0f} "
+              f"{row.insns:8d} {row.helper_calls:8d} "
+              f"{row.watchdog_fires:3d} {row.oopses:4d}")
+    print(f"({len(rows)} programs, stats_enabled="
+          f"{int(bpf.kernel.telemetry.stats_enabled)})")
+    return 0
+
+
+def cmd_stats_dump(args) -> int:
+    """``stats dump``: full telemetry snapshot as JSON or Prometheus
+    text exposition format."""
+    bpf = _load_and_run_with_stats(args)
+    if bpf is None:
+        return 1
+    if args.format == "prometheus":
+        print(to_prometheus(bpf.kernel.telemetry), end="")
+    else:
+        print(to_json(bpf.kernel.telemetry))
+    return 0
+
+
+def cmd_trace_log(args) -> int:
+    """``trace log``: print the trace ring as JSONL."""
+    bpf = _load_and_run_with_stats(args)
+    if bpf is None:
+        return 1
+    events = bpf.kernel.telemetry.trace.events(
+        kind=args.kind or None, limit=args.limit)
+    for event in events:
+        print(event.to_json())
+    ring = bpf.kernel.telemetry.trace
+    print(f"# {len(events)} events shown, {ring.emitted} emitted, "
+          f"{ring.dropped} dropped", file=sys.stderr)
+    return 0
+
+
 def cmd_helper_list(args) -> int:
     """``helper list``: print the registry."""
     registry = build_default_registry()
@@ -192,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
     dump = prog_sub.add_parser("dump", help="assemble + disassemble")
     dump.add_argument("file")
     dump.set_defaults(func=cmd_prog_dump)
+
+    runnable = argparse.ArgumentParser(add_help=False,
+                                       parents=[common])
+    runnable.add_argument("--payload", default="",
+                          help="packet payload for skb/xdp programs")
+    runnable.add_argument("--repeat", type=int, default=1,
+                          metavar="N", help="number of runs (default 1)")
+
+    prog_stats = prog_sub.add_parser(
+        "stats", parents=[runnable],
+        help="run N times with stats enabled, print per-prog rows")
+    prog_stats.set_defaults(func=cmd_prog_stats)
+
+    stats = sub.add_parser("stats", help="telemetry snapshots")
+    stats_sub = stats.add_subparsers(dest="action", required=True)
+    stats_dump = stats_sub.add_parser(
+        "dump", parents=[runnable],
+        help="full telemetry snapshot after N runs")
+    stats_dump.add_argument("--format", default="json",
+                            choices=["json", "prometheus"])
+    stats_dump.set_defaults(func=cmd_stats_dump)
+
+    trace = sub.add_parser("trace", help="structured trace ring")
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_log = trace_sub.add_parser(
+        "log", parents=[runnable],
+        help="print trace events as JSONL after N runs")
+    trace_log.add_argument("--kind", default=None,
+                           help="only events of this kind")
+    trace_log.add_argument("--limit", type=int, default=None,
+                           help="print at most the last N events")
+    trace_log.set_defaults(func=cmd_trace_log)
 
     helper = sub.add_parser("helper", help="helper registry")
     helper_sub = helper.add_subparsers(dest="action", required=True)

@@ -274,3 +274,69 @@ class TestDirectDifferential:
                 vm.run(prog, regs.base)
             msgs.append(str(err.value))
         assert msgs[0] == msgs[1]
+
+
+class TestStatsDifferential:
+    """With stats enabled, both engines must report identical
+    per-program telemetry — run_cnt, run_time_ns, insns and helper
+    counts are part of the observational contract."""
+
+    def _stats_both(self, build, runs=3):
+        seen = []
+        for fast in (False, True):
+            kernel = Kernel()
+            kernel.telemetry.enable()
+            bpf = BpfSubsystem(kernel, fast_path=fast)
+            prog = bpf.load_program(build(bpf), ProgType.KPROBE,
+                                    "diff")
+            for _ in range(runs):
+                bpf.run_on_current_task(prog)
+            row = kernel.telemetry.prog("ebpf", "diff")
+            seen.append((row.run_cnt, row.run_time_ns, row.insns,
+                         row.helper_calls,
+                         dict(row.helper_counts)))
+        assert seen[0] == seen[1], (
+            f"stats diverged: slow={seen[0]}, fast={seen[1]}")
+        return seen[0]
+
+    def test_alu_loop_stats_identical(self):
+        def build(bpf):
+            return (Asm()
+                    .mov64_imm(R0, 0).mov64_imm(R1, 64)
+                    .label("loop")
+                    .alu64_reg("add", R0, R1)
+                    .alu64_imm("sub", R1, 1)
+                    .jmp_imm("jne", R1, 0, "loop")
+                    .exit_()
+                    .program())
+        run_cnt, run_time_ns, insns, helpers, _ = \
+            self._stats_both(build)
+        assert run_cnt == 3
+        assert insns == run_time_ns       # 1 virtual ns per insn
+        assert helpers == 0
+
+    def test_helper_call_stats_identical(self):
+        def build(bpf):
+            return (Asm()
+                    .call(ids.BPF_FUNC_ktime_get_ns)
+                    .call(ids.BPF_FUNC_get_current_pid_tgid)
+                    .call(ids.BPF_FUNC_ktime_get_ns)
+                    .exit_()
+                    .program())
+        run_cnt, _, _, helpers, counts = self._stats_both(build)
+        assert run_cnt == 3
+        assert helpers == 9               # 3 calls x 3 runs
+        assert counts == {"bpf_ktime_get_ns": 6,
+                          "bpf_get_current_pid_tgid": 3}
+
+    def test_stats_off_engines_record_nothing(self):
+        for fast in (False, True):
+            kernel = Kernel()
+            bpf = BpfSubsystem(kernel, fast_path=fast)
+            prog = bpf.load_program(
+                Asm().mov64_imm(R0, 0).exit_().program(),
+                ProgType.KPROBE, "cold")
+            bpf.run_on_current_task(prog)
+            row = kernel.telemetry.prog("ebpf", "cold")
+            assert (row.run_cnt, row.run_time_ns, row.insns) == \
+                (0, 0, 0)

@@ -1,0 +1,189 @@
+"""Ring buffer reservation lifecycle, drop accounting, teardown.
+
+The reservation API hands extensions real kernel memory; this file
+pins the lifecycle rules — submit/discard must free the backing
+allocation, teardown must release abandoned reservations, and every
+``-ENOSPC`` refusal must be counted both on the map and in telemetry.
+Also covers the perf-event array's honest per-CPU record streams.
+"""
+
+import pytest
+
+from repro.ebpf.loader import BpfSubsystem
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def bpf(kernel):
+    return BpfSubsystem(kernel)
+
+
+def ringbuf_allocs(kernel, map_fd):
+    """Live backing allocations for one ringbuf's reservations."""
+    return [a for a in kernel.mem.live_allocations(owner="bpf-map")
+            if a.type_name == f"ringbuf{map_fd}_rec"]
+
+
+class TestReservationLifecycle:
+    def test_submit_frees_backing_allocation(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        addr = rb.reserve(16)
+        assert len(ringbuf_allocs(kernel, rb.map_fd)) == 1
+        assert rb.submit(addr) == 0
+        assert ringbuf_allocs(kernel, rb.map_fd) == []
+        assert rb.outstanding_reservations() == 0
+        # the record itself survives the free
+        assert len(rb.drain()) == 1
+
+    def test_discard_frees_and_returns_space(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=16)
+        addr = rb.reserve(16)        # ring now full
+        assert rb.reserve(1) is None
+        assert rb.discard(addr) == 0
+        assert ringbuf_allocs(kernel, rb.map_fd) == []
+        # discarded space is reusable and nothing was published
+        assert rb.reserve(16) is not None
+        assert rb.drain() == []
+
+    def test_double_submit_and_double_discard_rejected(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=64)
+        addr = rb.reserve(8)
+        assert rb.submit(addr) == 0
+        assert rb.submit(addr) == -22
+        assert rb.discard(addr) == -22
+        addr2 = rb.reserve(8)
+        assert rb.discard(addr2) == 0
+        assert rb.discard(addr2) == -22
+
+    def test_submitted_space_held_until_drain(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=16)
+        addr = rb.reserve(16)
+        rb.submit(addr)
+        # the committed record still occupies the ring...
+        assert rb.reserve(1) is None
+        rb.drain()
+        # ...until userspace consumes it
+        assert rb.reserve(16) is not None
+
+    def test_drain_keeps_outstanding_reservation_space(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=16)
+        rb.output(b"1234")
+        addr = rb.reserve(8)
+        rb.drain()
+        # 8 bytes stay reserved: only 8 more fit
+        assert rb.reserve(16) is None
+        assert rb.reserve(8) is not None
+        assert rb.discard(addr) == 0
+
+
+class TestDropAccounting:
+    def test_output_enospc_counted(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=8)
+        assert rb.output(b"12345678") == 0
+        assert rb.output(b"abc") == -28
+        assert rb.output(b"defg") == -28
+        assert rb.drops == 2
+        assert rb.dropped_bytes == 7
+        fam = kernel.telemetry.registry.get(
+            "repro_ringbuf_drops_total")
+        assert fam.labels(str(rb.map_fd)).value == 2
+        by = kernel.telemetry.registry.get(
+            "repro_ringbuf_dropped_bytes_total")
+        assert by.labels(str(rb.map_fd)).value == 7
+
+    def test_reserve_enospc_counted(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=8)
+        assert rb.reserve(16) is None
+        assert rb.drops == 1
+        assert rb.dropped_bytes == 16
+        events = kernel.telemetry.trace.events(kind="ringbuf_drop")
+        assert len(events) == 1
+        assert events[0].data["requested"] == 16
+
+    def test_bad_reserve_size_not_a_drop(self, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=8)
+        assert rb.reserve(0) is None
+        assert rb.reserve(-4) is None
+        assert rb.drops == 0
+
+
+class TestTeardown:
+    def test_destroy_frees_abandoned_reservations(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=4096)
+        rb.reserve(16)
+        rb.reserve(32)
+        rb.output(b"published")
+        assert len(ringbuf_allocs(kernel, rb.map_fd)) == 2
+        bpf.destroy_map(rb.map_fd)
+        assert ringbuf_allocs(kernel, rb.map_fd) == []
+        assert rb.outstanding_reservations() == 0
+
+    def test_destroy_is_idempotent(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=64)
+        rb.reserve(8)
+        bpf.destroy_map(rb.map_fd)
+        rb.destroy()   # second teardown must not double-free
+
+    def test_subsystem_shutdown_leaves_no_map_memory(self, kernel,
+                                                     bpf):
+        rb = bpf.create_map("ringbuf", max_entries=64)
+        rb.reserve(8)
+        bpf.create_map("array", max_entries=4)
+        bpf.create_map("hash", max_entries=4)
+        bpf.create_map("task_storage", value_size=8) \
+           .storage_for(kernel.current_task.address, True)
+        assert kernel.mem.live_allocations(owner="bpf-map")
+        bpf.shutdown()
+        assert kernel.mem.live_allocations(owner="bpf-map") == []
+
+    def test_destroy_updates_live_map_gauge(self, kernel, bpf):
+        rb = bpf.create_map("ringbuf", max_entries=64)
+        fam = kernel.telemetry.registry.get("repro_maps_live")
+        assert fam.labels("ringbuf").value == 1
+        bpf.destroy_map(rb.map_fd)
+        assert fam.labels("ringbuf").value == 0
+
+    def test_destroy_unknown_fd_raises(self, bpf):
+        from repro.errors import BpfRuntimeError
+        with pytest.raises(BpfRuntimeError):
+            bpf.destroy_map(999)
+
+
+class TestPerCpuPerfStreams:
+    def test_records_keyed_by_running_cpu(self, kernel, bpf):
+        pe = bpf.create_map("perf_event_array", max_entries=4096)
+        kernel.set_current_cpu(0)
+        assert pe.output(b"on-cpu0") == 0
+        kernel.set_current_cpu(2)
+        assert pe.output(b"on-cpu2") == 0
+        assert pe.records_for_cpu(0) == [b"on-cpu0"]
+        assert pe.records_for_cpu(1) == []
+        assert pe.records_for_cpu(2) == [b"on-cpu2"]
+
+    def test_drain_one_cpu_leaves_others(self, kernel, bpf):
+        pe = bpf.create_map("perf_event_array", max_entries=4096)
+        kernel.set_current_cpu(0)
+        pe.output(b"a")
+        kernel.set_current_cpu(1)
+        pe.output(b"b")
+        assert pe.drain(0) == [b"a"]
+        assert pe.records_for_cpu(1) == [b"b"]
+        assert pe.drain() == [b"b"]
+
+    def test_capacity_and_drops_are_per_cpu(self, kernel, bpf):
+        pe = bpf.create_map("perf_event_array", max_entries=8)
+        kernel.set_current_cpu(0)
+        assert pe.output(b"12345678") == 0
+        assert pe.output(b"x") == -28       # cpu0 full
+        kernel.set_current_cpu(1)
+        assert pe.output(b"x") == 0         # cpu1 unaffected
+        assert pe.cpu_drops == [1, 0, 0, 0]
+        fam = kernel.telemetry.registry.get(
+            "repro_perf_event_drops_total")
+        assert fam.labels(str(pe.map_fd), "0").value == 1
+        assert fam.labels(str(pe.map_fd), "1").value == 0

@@ -149,3 +149,57 @@ class TestRegistryCommands:
         out = capsys.readouterr().out
         assert "sys_bpf_null_union" in out
         assert "Null-pointer dereference" in out
+
+
+class TestStatsCommands:
+    def test_prog_stats_counts_runs(self, prog_file, capsys):
+        assert main(["prog", "stats", prog_file,
+                     "--repeat", "5"]) == 0
+        out = capsys.readouterr().out
+        row = next(line for line in out.splitlines()
+                   if "ebpf" in line)
+        fields = row.split()
+        assert fields[1] == "ebpf"
+        assert fields[2] == "5"          # run_cnt
+        assert "stats_enabled=1" in out
+
+    def test_prog_stats_verification_failure(self, bad_prog_file,
+                                             capsys):
+        assert main(["prog", "stats", bad_prog_file]) == 1
+        assert "VERIFICATION FAILED" in capsys.readouterr().out
+
+    def test_stats_dump_json(self, prog_file, capsys):
+        import json
+        assert main(["stats", "dump", prog_file,
+                     "--repeat", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats_enabled"] is True
+        assert doc["progs"][0]["run_cnt"] == 2
+        assert doc["progs"][0]["framework"] == "ebpf"
+
+    def test_stats_dump_prometheus(self, prog_file, capsys):
+        from repro.telemetry import parse_prometheus
+        assert main(["stats", "dump", prog_file, "--repeat", "3",
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_prog_runs_total counter" in out
+        parsed = parse_prometheus(out)
+        key = ('repro_prog_runs_total{framework="ebpf",'
+               f'prog="{prog_file}"}}')
+        assert parsed[key] == 3
+
+    def test_trace_log_jsonl(self, prog_file, capsys):
+        from repro.telemetry import parse_jsonl
+        assert main(["trace", "log", prog_file,
+                     "--repeat", "2"]) == 0
+        events = parse_jsonl(capsys.readouterr().out)
+        kinds = [e.kind for e in events]
+        assert kinds.count("load") == 1
+        assert kinds.count("run") == 2
+
+    def test_trace_log_kind_filter(self, prog_file, capsys):
+        from repro.telemetry import parse_jsonl
+        assert main(["trace", "log", prog_file, "--repeat", "3",
+                     "--kind", "run", "--limit", "2"]) == 0
+        events = parse_jsonl(capsys.readouterr().out)
+        assert [e.kind for e in events] == ["run", "run"]

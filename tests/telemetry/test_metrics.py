@@ -1,0 +1,104 @@
+"""Metrics primitives: counters, gauges, histograms, registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_can_go_negative(self):
+        g = Gauge()
+        g.dec(2)
+        assert g.value == -2
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram(bounds=(10, 100))
+        for v in (1, 5, 50, 500):
+            h.observe(v)
+        cum = h.cumulative()
+        # cumulative counts: le=10 -> 2, le=100 -> 3, +Inf -> 4
+        assert cum == [(10, 2), (100, 3), (None, 4)]
+        assert h.count == 4
+        assert h.total == 556
+
+    def test_boundary_value_counts_as_le(self):
+        h = Histogram(bounds=(10, 100))
+        h.observe(10)
+        assert h.cumulative()[0] == (10, 1)
+
+    def test_mean(self):
+        h = Histogram(bounds=(10,))
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+        assert Histogram(bounds=(10,)).mean == 0.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10, 10))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(100, 10))
+
+
+class TestRegistry:
+    def test_labels_children_are_stable(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("runs", "runs", ("framework", "prog"))
+        child = fam.labels("ebpf", "p")
+        child.inc(3)
+        assert fam.labels("ebpf", "p") is child
+        assert fam.labels("ebpf", "q").value == 0
+
+    def test_label_arity_enforced(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("runs", "runs", ("framework",))
+        with pytest.raises(ValueError):
+            fam.labels("a", "b")
+
+    def test_get_or_create_same_schema(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help", ("l",))
+        assert reg.counter("x", "help", ("l",)) is a
+
+    def test_schema_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help", ("l",))
+        with pytest.raises(ValueError):
+            reg.gauge("x", "help", ("l",))
+        with pytest.raises(ValueError):
+            reg.counter("x", "help", ("other",))
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta", "z", ())
+        reg.gauge("alpha", "a", ())
+        assert [f.name for f in reg.families()] == ["alpha", "zeta"]
+
+    def test_non_string_label_values_stringified(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("drops", "d", ("cpu",))
+        fam.labels(3).inc()
+        assert fam.labels("3").value == 1
