@@ -31,6 +31,7 @@ from repro.ebpf.progs import ProgType
 from repro.errors import (
     BpfRuntimeError,
     KernelSafetyViolation,
+    ReproError,
     VerifierError,
 )
 from repro.kernel import Kernel
@@ -214,4 +215,110 @@ def fuzz_campaign(iterations: int = 300, seed: int = 1337,
             report.soundness_violations.append(
                 f"seed={seed} iter={index}: kernel tainted after an "
                 "accepted program")
+    return report
+
+# ---------------------------------------------------------------------------
+# differential fuzzing: three engines, one semantics
+# ---------------------------------------------------------------------------
+
+#: the execution engines that must agree on every program: the
+#: decode-per-step reference interpreter, the predecoded fast path,
+#: and the fast path running JIT-lowered instructions
+DIFF_ENGINES = (
+    ("interp", {"use_jit": False, "fast_path": False}),
+    ("fast", {"use_jit": False, "fast_path": True}),
+    ("jit", {"use_jit": True, "fast_path": True}),
+)
+
+
+def observe_engine(program: List[Insn], index: int,
+                   engine_kwargs: dict) -> dict:
+    """Run one program on one engine configuration (fresh kernel,
+    stats on, patched bugs) and capture everything observable: the
+    result or exception, final registers, instruction/helper/clock
+    accounting, kernel health, and the telemetry row."""
+    kernel = Kernel()
+    kernel.telemetry.enable()
+    bpf = BpfSubsystem(kernel, bugs=BugConfig.all_patched(),
+                       **engine_kwargs)
+    name = f"diff{index}"
+    try:
+        prog = bpf.load_program(program, ProgType.KPROBE, name)
+    except VerifierError:
+        return {"kind": "rejected"}
+    except Exception as error:  # noqa: BLE001 - a crash is a result
+        return {"kind": "load-crash", "error": type(error).__name__}
+    try:
+        result = ("ret", bpf.run_on_current_task(prog))
+    except ReproError as error:
+        result = ("err", type(error).__name__)
+    except Exception as error:  # noqa: BLE001 - a crash is a result
+        result = ("crash", type(error).__name__)
+    row = kernel.telemetry.prog("ebpf", name)
+    return {
+        "kind": "ran",
+        "result": result,
+        "regs": tuple(bpf.vm.last_exit_regs)
+        if bpf.vm.last_exit_regs is not None else None,
+        "insns": bpf.vm.insns_executed,
+        "helper_calls": bpf.vm.helper_calls,
+        "clock_ns": kernel.clock.now_ns,
+        "healthy": kernel.healthy,
+        "stalls": len(kernel.rcu.stall_reports),
+        "telemetry": (row.run_cnt, row.run_time_ns, row.insns,
+                      row.helper_calls,
+                      tuple(sorted(row.helper_counts.items())),
+                      row.watchdog_fires, row.panics, row.oopses),
+    }
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential campaign."""
+
+    total: int = 0
+    rejected: int = 0
+    #: programs executed by all engines with identical observations
+    compared: int = 0
+    divergences: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no engine ever disagreed."""
+        return not self.divergences
+
+
+def differential_campaign(min_compared: int = 200, seed: int = 421,
+                          max_insns: int = 24,
+                          max_programs: int = 0) -> DifferentialReport:
+    """Generate random programs until ``min_compared`` of them have
+    *executed* identically on every engine in :data:`DIFF_ENGINES`
+    (rejections are also compared, but don't count toward the quota).
+    Deterministic for a given seed."""
+    rng = random.Random(seed)
+    report = DifferentialReport()
+    cap = max_programs or min_compared * 12
+    for index in range(cap):
+        if report.compared >= min_compared:
+            break
+        program = random_program(rng, max_insns)
+        report.total += 1
+        observations = {
+            engine: observe_engine(program, index, kwargs)
+            for engine, kwargs in DIFF_ENGINES
+        }
+        baseline_engine, baseline = next(iter(observations.items()))
+        diverged = False
+        for engine, obs in observations.items():
+            if obs != baseline:
+                report.divergences.append(
+                    f"seed={seed} iter={index}: {engine} disagrees "
+                    f"with {baseline_engine}: {obs!r} != {baseline!r}")
+                diverged = True
+        if diverged:
+            continue
+        if baseline["kind"] == "rejected":
+            report.rejected += 1
+        else:
+            report.compared += 1
     return report

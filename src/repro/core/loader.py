@@ -58,6 +58,17 @@ class SafeLoader:
         :class:`~repro.errors.SignatureError` on any trust failure."""
         start = time.perf_counter()
 
+        faults = self.kernel.faults
+        if faults.armed:
+            fault = faults.check("load.signature")
+            if fault is not None and fault.kind != "delay":
+                # any injected fault here is a trust failure: a
+                # corrupted image and a flaky key store look the same
+                # to the loader, and both must refuse the extension
+                raise SignatureError(
+                    f"extension {ext.name!r}: injected signature "
+                    "validation failure")
+
         key = self.trusted_keys.get(ext.key_id)
         if key is None:
             raise SignatureError(

@@ -59,6 +59,13 @@ class MemoryPool:
             raise ValueError(f"negative allocation size {size}")
         if size == 0:
             return None
+        faults = self.kernel.faults
+        if faults.armed and faults.check("pool.alloc") is not None:
+            # injected exhaustion: indistinguishable from the real
+            # thing — counted, telemetered, NULL to the extension
+            self.failed_allocs += 1
+            self.kernel.telemetry.record_pool_failure(self.cpu.cpu_id)
+            return None
         aligned = (size + 7) & ~7
         if self._top + aligned > self.size:
             self.failed_allocs += 1

@@ -22,8 +22,8 @@ class Watchdog:
 
     def __init__(self, clock: VirtualClock, budget_ns: int,
                  name: str = "extension",
-                 on_fire: Optional[Callable[["Watchdog"], None]] = None
-                 ) -> None:
+                 on_fire: Optional[Callable[["Watchdog"], None]] = None,
+                 faults: Optional[object] = None) -> None:
         if budget_ns <= 0:
             raise ValueError("watchdog budget must be positive")
         self.clock = clock
@@ -32,6 +32,9 @@ class Watchdog:
         #: invoked exactly once per firing, at the clock tick that
         #: exhausts the budget (telemetry hooks in here)
         self.on_fire = on_fire
+        #: optional fault-injection plane; the ``watchdog.fire``
+        #: failpoint perturbs *delivery*, never cancels it outright
+        self.faults = faults
         self._deadline: Optional[int] = None
         self._fired = False
         self._callback_name = f"watchdog:{name}:{id(self)}"
@@ -64,6 +67,17 @@ class Watchdog:
 
     def _on_tick(self, now_ns: int) -> None:
         if self._deadline is not None and now_ns >= self._deadline:
+            if self.faults is not None and self.faults.armed:
+                # this runs inside a clock tick, so the plane must not
+                # advance the clock (apply_delay=False); a delay fault
+                # pushes the deadline instead, any other fault skips
+                # this delivery attempt by one tick — delivery is
+                # delayed, never lost, so runaway extensions still die
+                action = self.faults.check("watchdog.fire",
+                                           apply_delay=False)
+                if action is not None:
+                    self._deadline = now_ns + max(1, action.delay_ns)
+                    return
             # one-shot: firing deregisters the hook, so a watchdog
             # whose extension is killed before disarm() doesn't leave
             # a stale callback ticking on the clock forever

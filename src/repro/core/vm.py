@@ -165,7 +165,8 @@ class ExtensionVm:
         watchdog = Watchdog(
             self.kernel.clock, budget, name=prog_name,
             on_fire=lambda wd: telemetry.record_watchdog_fire(
-                "safelang", prog_name, wd.budget_ns))
+                "safelang", prog_name, wd.budget_ns),
+            faults=self.kernel.faults)
         guard = StackGuard()
         runner = _Runner(self, program, rt, watchdog, guard)
 

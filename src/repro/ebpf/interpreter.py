@@ -51,7 +51,7 @@ from repro.ebpf.predecode import (
     J_NE, J_SET, J_SGE, J_SGT, J_SLE, J_SLT, PredecodedProgram,
     predecode,
 )
-from repro.errors import BpfRuntimeError
+from repro.errors import BpfRuntimeError, KernelOops
 from repro.kernel.kernel import Kernel
 
 U64 = (1 << 64) - 1
@@ -120,6 +120,9 @@ class BpfVm:
         self.insns_executed = 0
         #: crossings from verified bytecode into unverified kernel C
         self.helper_calls = 0
+        #: register file at the most recent top-frame EXIT (one list
+        #: copy per invocation; the differential fuzzer compares it)
+        self.last_exit_regs: Optional[List[int]] = None
         self._prandom_state = 0x2545F491
         self._current_prog: Optional[object] = None
         self._insns: List[Insn] = []
@@ -446,6 +449,8 @@ class BpfVm:
                     self.insns_executed += pending
                     work(pending)
                     pending = 0
+                    if depth == 0:
+                        self.last_exit_regs = list(regs)
                     return regs[0]
                 # K_BAD and anything unexpected
                 raise BpfRuntimeError(slot[1] if kind == K_BAD else
@@ -520,6 +525,8 @@ class BpfVm:
                 if cls in (isa.BPF_JMP, isa.BPF_JMP32):
                     op = insn.opcode & isa.JMP_OP_MASK
                     if op == isa.BPF_EXIT:
+                        if depth == 0:
+                            self.last_exit_regs = list(regs)
                         return regs[0]
                     if op == isa.BPF_JA:
                         idx = idx + insn.off + 1
@@ -690,6 +697,22 @@ class BpfVm:
                                     spec.name)
         # a helper call is far more work than one bytecode insn
         self.kernel.work(20 + spec.callgraph_size // 50)
+        faults = self.kernel.faults
+        if faults.armed:
+            fault = faults.check(f"helper.{spec.name}")
+            if fault is not None:
+                if fault.kind == "errno":
+                    return to_u64(-fault.errno)
+                if fault.kind == "panic":
+                    self.kernel.log.record_oops(
+                        self.kernel.clock.now_ns,
+                        f"injected panic in helper {spec.name}",
+                        category="fault-injection",
+                        source=self.prog_tag)
+                    raise KernelOops(
+                        f"injected panic in helper {spec.name}",
+                        source=self.prog_tag)
+                # delay: virtual time already charged; proceed
         ctx = HelperCallContext(self.kernel, self, regs[1:6],
                                 self._current_prog)
         return to_u64(spec.impl(ctx))

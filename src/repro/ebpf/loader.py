@@ -171,6 +171,23 @@ class BpfSubsystem:
         outright while ``unprivileged_bpf_disabled`` is set (the [22]
         default), and otherwise verified under the tighter caps with
         pointer leaks always forbidden."""
+        faults = self.kernel.faults
+        if faults.armed:
+            fault = faults.check("load.verify")
+            if fault is not None and fault.kind != "delay":
+                if fault.kind == "panic":
+                    # the [54] bug class on demand: the verifier
+                    # itself crashes while processing the program
+                    self.kernel.log.record_oops(
+                        self.kernel.clock.now_ns,
+                        f"injected verifier fault loading ({name})",
+                        category="fault-injection", source="verifier")
+                    raise KernelOops(
+                        f"injected verifier fault loading ({name})",
+                        source="verifier")
+                raise VerifierError(
+                    f"injected load failure (errno {fault.errno}) "
+                    f"for ({name})")
         if unprivileged:
             if self.unprivileged_bpf_disabled:
                 raise VerifierError(

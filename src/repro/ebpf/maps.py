@@ -4,13 +4,27 @@ Maps are backed by real allocations in the simulated kernel address
 space, so a map-value pointer returned by ``bpf_map_lookup_elem`` is a
 genuine kernel address that bytecode can (mis)use — which is what makes
 the array-map 32-bit-overflow bug [36] and the §2.2 attacks executable.
+
+Error convention (uniform across map types): the runtime interface
+never raises for runtime failures.  ``lookup_addr`` answers None on a
+miss *or* any invalid key; ``update``/``delete`` answer 0 or a
+negative errno (``-EINVAL`` malformed key/value, ``-E2BIG`` capacity,
+``-ENOENT`` missing, ``-ENOMEM``/``-ENOSPC`` allocation).  Python
+exceptions are reserved for construction-time geometry errors and
+userspace setup APIs (``read_value``, ``set_prog``) where a bad
+argument is a test bug, not a runtime condition.
+
+Failpoints: ``map.lookup`` / ``map.update`` / ``map.delete`` fire at
+operation entry; ``map.alloc`` fires where an operation would allocate
+kernel memory (hash values, ringbuf records, task storage), so chaos
+schedules can model allocator pressure separately from op failures.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import BpfRuntimeError
+from repro.errors import BpfRuntimeError, KernelOops
 from repro.ebpf.bugs import BugConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.locks import SpinLock
@@ -21,6 +35,13 @@ BPF_MAP_TYPE_HASH = "hash"
 BPF_MAP_TYPE_RINGBUF = "ringbuf"
 BPF_MAP_TYPE_TASK_STORAGE = "task_storage"
 BPF_MAP_TYPE_PROG_ARRAY = "prog_array"
+
+# errno numbers (ops return the negative value, kernel-style)
+ENOENT = 2
+E2BIG = 7
+ENOMEM = 12
+EINVAL = 22
+ENOSPC = 28
 
 
 class BpfMap:
@@ -79,10 +100,30 @@ class BpfMap:
         """Remove; returns 0 or negative errno."""
         raise NotImplementedError
 
-    def _check_key(self, key: bytes) -> None:
-        if len(key) != self.key_size:
-            raise BpfRuntimeError(
-                f"map{self.map_fd}: key size {len(key)} != {self.key_size}")
+    def _key_ok(self, key: bytes) -> bool:
+        return len(key) == self.key_size
+
+    def _fault(self, site: str) -> Optional[int]:
+        """Consult the fault plane at a map failpoint.
+
+        Returns the negative errno to fail with, or None to proceed.
+        An injected panic oopses here, through the official path —
+        only errno and delay make sense as *returned* map errors."""
+        faults = self.kernel.faults
+        if not faults.armed:
+            return None
+        action = faults.check(site)
+        if action is None or action.kind == "delay":
+            return None
+        if action.kind == "panic":
+            self.kernel.log.record_oops(
+                self.kernel.clock.now_ns,
+                f"injected panic in map{self.map_fd} {site}",
+                category="fault-injection", source="bpf-map")
+            raise KernelOops(
+                f"injected panic in map{self.map_fd} {site}",
+                source="bpf-map")
+        return -action.errno
 
 
 class ArrayMap(BpfMap):
@@ -107,10 +148,6 @@ class ArrayMap(BpfMap):
             value_size * max_entries,
             type_name=f"array_map{map_fd}", owner="bpf-map")
 
-    def _index_of(self, key: bytes) -> int:
-        self._check_key(key)
-        return int.from_bytes(key, "little")
-
     def element_offset(self, index: int) -> int:
         """Byte offset of element ``index`` — the buggy computation."""
         offset = index * self.value_size
@@ -121,25 +158,32 @@ class ArrayMap(BpfMap):
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
-        index = self._index_of(key)
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
+        index = int.from_bytes(key, "little")
         if index >= self.max_entries:
             return None
         return self.storage.base + self.element_offset(index)
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        index = self._index_of(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
+        index = int.from_bytes(key, "little")
         if index >= self.max_entries:
-            return -7  # -E2BIG
+            return -E2BIG
         if len(value) != self.value_size:
-            return -22  # -EINVAL
+            return -EINVAL
         self.kernel.mem.write(
             self.storage.base + index * self.value_size, value)
         return 0
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        return -22  # array elements cannot be deleted (-EINVAL)
+        return -EINVAL  # array elements cannot be deleted
 
     def read_value(self, index: int) -> bytes:
         """Userspace-style read of one element."""
@@ -168,33 +212,37 @@ class PercpuArrayMap(BpfMap):
             for cpu in kernel.cpus
         ]
 
-    def _index_of(self, key: bytes) -> int:
-        self._check_key(key)
-        return int.from_bytes(key, "little")
-
-    def lookup_addr(self, key: bytes) -> Optional[int]:
-        """See :meth:`BpfMap.lookup_addr`."""
-        index = self._index_of(key)
-        if index >= self.max_entries:
-            return None
+    def _slot_addr(self, index: int) -> int:
         storage = self.per_cpu_storage[self.kernel.current_cpu.cpu_id]
         return storage.base + index * self.value_size
 
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return None
+        return self._slot_addr(index)
+
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        index = self._index_of(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
+        index = int.from_bytes(key, "little")
         if index >= self.max_entries:
-            return -7
+            return -E2BIG
         if len(value) != self.value_size:
-            return -22
-        addr = self.lookup_addr(key)
-        assert addr is not None
-        self.kernel.mem.write(addr, value)
+            return -EINVAL
+        self.kernel.mem.write(self._slot_addr(index), value)
         return 0
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        return -22
+        return -EINVAL
 
     def read_values(self, index: int) -> List[bytes]:
         """Userspace view: this element's value on every CPU."""
@@ -224,19 +272,27 @@ class HashMap(BpfMap):
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
-        self._check_key(key)
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
         alloc = self._entries.get(key)
         return alloc.base if alloc is not None else None
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        self._check_key(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
         if len(value) != self.value_size:
-            return -22
+            return -EINVAL
         alloc = self._entries.get(key)
         if alloc is None:
             if len(self._entries) >= self.max_entries:
-                return -7  # -E2BIG
+                return -E2BIG
+            errno = self._fault("map.alloc")
+            if errno:
+                return errno
             alloc = self.kernel.mem.kmalloc(
                 self.value_size, type_name=f"hash_map{self.map_fd}_val",
                 owner="bpf-map")
@@ -246,19 +302,23 @@ class HashMap(BpfMap):
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        self._check_key(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.delete")
+        if errno:
+            return errno
         alloc = self._entries.pop(key, None)
         if alloc is None:
-            return -2  # -ENOENT
+            return -ENOENT
         self.kernel.mem.kfree(alloc)
         return 0
 
     def read_value(self, key: bytes) -> Optional[bytes]:
         """Userspace-style read."""
-        addr = self.lookup_addr(key)
-        if addr is None:
+        alloc = self._entries.get(key) if self._key_ok(key) else None
+        if alloc is None:
             return None
-        return self.kernel.mem.read(addr, self.value_size)
+        return self.kernel.mem.read(alloc.base, self.value_size)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -297,9 +357,13 @@ class RingBufMap(BpfMap):
 
     def output(self, data: bytes) -> int:
         """Copy a record in; returns 0 or -ENOSPC (counted)."""
+        errno = self._fault("map.alloc")
+        if errno:
+            self._note_drop(len(data))
+            return -ENOSPC
         if self._used + len(data) > self.capacity_bytes:
             self._note_drop(len(data))
-            return -28  # -ENOSPC
+            return -ENOSPC
         self._records.append(data)
         self._used += len(data)
         return 0
@@ -308,6 +372,9 @@ class RingBufMap(BpfMap):
         """Reserve a record, returning its kernel address (None on
         bad size or -ENOSPC, the latter counted as a drop)."""
         if size <= 0:
+            return None
+        if self._fault("map.alloc"):
+            self._note_drop(size)
             return None
         if self._used + size > self.capacity_bytes:
             self._note_drop(size)
@@ -323,7 +390,7 @@ class RingBufMap(BpfMap):
         the backing allocation."""
         alloc = self._reserved.pop(addr, None)
         if alloc is None:
-            return -22
+            return -EINVAL
         self._records.append(
             self.kernel.mem.read(alloc.base, alloc.size))
         self.kernel.mem.kfree(alloc)
@@ -334,7 +401,7 @@ class RingBufMap(BpfMap):
         return its space to the ring."""
         alloc = self._reserved.pop(addr, None)
         if alloc is None:
-            return -22
+            return -EINVAL
         self._used -= alloc.size
         self.kernel.mem.kfree(alloc)
         return 0
@@ -366,11 +433,11 @@ class RingBufMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        return -22
+        return -EINVAL
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        return -22
+        return -EINVAL
 
 
 class PerfEventArrayMap(BpfMap):
@@ -400,11 +467,12 @@ class PerfEventArrayMap(BpfMap):
         """Append a record to the running CPU's stream; returns 0 or
         -ENOSPC (counted against that CPU)."""
         cpu = self.kernel.current_cpu.cpu_id
-        if self._cpu_used[cpu] + len(data) > self.capacity_bytes:
+        if self._fault("map.alloc") \
+                or self._cpu_used[cpu] + len(data) > self.capacity_bytes:
             self.cpu_drops[cpu] += 1
             self.kernel.telemetry.record_ringbuf_drop(
                 self.map_fd, len(data), cpu=cpu)
-            return -28  # -ENOSPC
+            return -ENOSPC
         self._cpu_records[cpu].append(data)
         self._cpu_used[cpu] += len(data)
         return 0
@@ -431,11 +499,11 @@ class PerfEventArrayMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        return -22
+        return -EINVAL
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        return -22
+        return -EINVAL
 
 
 class TaskStorageMap(BpfMap):
@@ -452,6 +520,8 @@ class TaskStorageMap(BpfMap):
         """Address of this task's storage; optionally create it."""
         alloc = self._by_task_addr.get(task_addr)
         if alloc is None and create:
+            if self._fault("map.alloc"):
+                return None
             alloc = self.kernel.mem.kmalloc(
                 self.value_size,
                 type_name=f"task_storage{self.map_fd}", owner="bpf-map")
@@ -462,7 +532,7 @@ class TaskStorageMap(BpfMap):
         """Drop this task's storage."""
         alloc = self._by_task_addr.pop(task_addr, None)
         if alloc is None:
-            return -2
+            return -ENOENT
         self.kernel.mem.kfree(alloc)
         return 0
 
@@ -476,22 +546,32 @@ class TaskStorageMap(BpfMap):
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
-        self._check_key(key)
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
         return self.storage_for(int.from_bytes(key, "little"), False)
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        self._check_key(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
         if len(value) != self.value_size:
-            return -22
+            return -EINVAL
         addr = self.storage_for(int.from_bytes(key, "little"), True)
-        assert addr is not None
+        if addr is None:
+            return -ENOMEM
         self.kernel.mem.write(addr, value)
         return 0
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        self._check_key(key)
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.delete")
+        if errno:
+            return errno
         return self.delete_for(int.from_bytes(key, "little"))
 
 
@@ -521,10 +601,11 @@ class ProgArrayMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
-        return -22
+        return -EINVAL
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
-        self._check_key(key)
+        if not self._key_ok(key):
+            return -EINVAL
         index = int.from_bytes(key, "little")
-        return 0 if self._progs.pop(index, None) is not None else -2
+        return 0 if self._progs.pop(index, None) is not None else -ENOENT

@@ -78,6 +78,37 @@ class VerifierStats:
     from_cache: bool = False
 
 
+class _WalkRecord:
+    """Branch bookkeeping for one walk (the kernel's
+    ``state->branches``).  A walk's checkpoints may only become prune
+    bases once the walk *and every branch it forked* have completed —
+    otherwise a pending backward branch can prune against a state
+    whose loop-exit side was never proven, and the verifier accepts a
+    program that spins forever at run time."""
+
+    __slots__ = ("parent", "parent_pos", "open_branches", "done",
+                 "trace", "inflight", "seq")
+
+    def __init__(self, parent: Optional["_WalkRecord"],
+                 parent_pos: int = 0) -> None:
+        self.parent = parent
+        #: how many checkpoints the parent had taken when it forked
+        #: this walk — only those precede this walk on the execution
+        #: path (later parent checkpoints belong to the fall path, and
+        #: matching one of them is path convergence, not a cycle)
+        self.parent_pos = parent_pos
+        #: forked branches not yet fully explored (subtree-complete)
+        self.open_branches = 0
+        self.done = False
+        #: checkpoints awaiting commit: (insn_idx, state snapshot)
+        self.trace: List[Tuple[int, VerifierState]] = []
+        #: checkpoint (position, state key) per insn, for loop
+        #: detection across this walk and its descendants
+        self.inflight: Dict[int, List[Tuple[int, tuple]]] = {}
+        #: checkpoints taken so far (positions the entries above use)
+        self.seq = 0
+
+
 class Verifier:
     """Verify one program against one kernel configuration."""
 
@@ -215,22 +246,45 @@ class Verifier:
 
     def _symbolic_execution(self) -> None:
         explored = ExploredStates(enabled=self.config.prune_states)
-        pending: List[Tuple[int, VerifierState]] = \
-            [(0, self._initial_state())]
+        pending: List[
+            Tuple[int, VerifierState, Optional[_WalkRecord], int]] = \
+            [(0, self._initial_state(), None, 0)]
         while pending:
             self.stats.peak_pending = max(self.stats.peak_pending,
                                           len(pending))
-            insn_idx, state = pending.pop()
-            self._walk(insn_idx, state, pending, explored)
+            insn_idx, state, parent, fork_pos = pending.pop()
+            self._walk(insn_idx, state, pending, explored, parent,
+                       fork_pos)
         self.stats.prune_hits = explored.prune_hits
         self.stats.states_explored = explored.states_stored
 
+    def _finish_walk(self, record: _WalkRecord,
+                     explored: ExploredStates) -> None:
+        """A walk ended safely.  Commit its checkpoints as prune bases
+        only once its whole branch subtree is proven, cascading up to
+        ancestors whose last open branch this completes (the kernel's
+        ``update_branch_counts``)."""
+        record.done = True
+        node: Optional[_WalkRecord] = record
+        while node is not None and node.done \
+                and node.open_branches == 0:
+            for insn_idx, snapshot in node.trace:
+                explored.remember(insn_idx, snapshot)
+            node.trace.clear()
+            node.inflight.clear()
+            parent, node.parent = node.parent, None
+            if parent is not None:
+                parent.open_branches -= 1
+            node = parent
+
     def _walk(self, insn_idx: int, state: VerifierState,
-              pending: List[Tuple[int, VerifierState]],
-              explored: ExploredStates) -> None:
+              pending: List[Tuple[int, VerifierState,
+                                  Optional[_WalkRecord], int]],
+              explored: ExploredStates,
+              parent: Optional[_WalkRecord] = None,
+              fork_pos: int = 0) -> None:
         """Walk one path until exit, prune, or a fork's end."""
-        inflight: Dict[int, Set[tuple]] = {}
-        trace: List[Tuple[int, VerifierState]] = []
+        record = _WalkRecord(parent, fork_pos)
         checkpoint_here = True  # walk start counts as a checkpoint
         visit_counts: Dict[int, int] = {}
         limits = self.config.limits
@@ -253,17 +307,30 @@ class Verifier:
                 at_target = count % 8 == 0
             if checkpoint_here or at_target:
                 checkpoint_here = False
-                key = (insn_idx, state.state_key())
-                bucket = inflight.setdefault(insn_idx, set())
-                if key[1] in bucket:
-                    self._reject(
-                        f"infinite loop detected at insn {insn_idx}")
+                key = state.state_key()
+                # revisiting an earlier checkpoint of this execution
+                # path with an identical state is a cycle making no
+                # progress: a real infinite loop.  The path runs
+                # through every ancestor walk, but only up to the
+                # fork each child descends from.
+                node: Optional[_WalkRecord] = record
+                bound = record.seq
+                while node is not None:
+                    for pos, seen in node.inflight.get(insn_idx, ()):
+                        if pos < bound and seen == key:
+                            self._reject(
+                                f"infinite loop detected at insn "
+                                f"{insn_idx}")
+                    bound = node.parent_pos
+                    node = node.parent
                 if explored.is_covered(insn_idx, state):
                     self.stats.prune_hits = explored.prune_hits
-                    self._commit(trace, explored)
+                    self._finish_walk(record, explored)
                     return
-                bucket.add(key[1])
-                trace.append((insn_idx, state.copy()))
+                record.inflight.setdefault(insn_idx, []).append(
+                    (record.seq, key))
+                record.seq += 1
+                record.trace.append((insn_idx, state.copy()))
 
             if self.config.log_level >= 2:
                 self._trace_insn(insn_idx, state)
@@ -305,7 +372,7 @@ class Verifier:
                 if op == isa.BPF_EXIT:
                     done = self._do_exit(state, insn_idx)
                     if done:
-                        self._commit(trace, explored)
+                        self._finish_walk(record, explored)
                         return
                     # returned from a subprog/callback frame
                     insn_idx = self._pop_return_target
@@ -328,7 +395,9 @@ class Verifier:
                         self._reject_limit(
                             "too many pending branch states "
                             f"({len(pending)})")
-                    pending.append((taken_idx, taken_state))
+                    record.open_branches += 1
+                    pending.append((taken_idx, taken_state, record,
+                                    record.seq))
                     state = fall_state
                     insn_idx = fall_idx
                     checkpoint_here = True
@@ -349,12 +418,6 @@ class Verifier:
             if reg.type != RegType.NOT_INIT and regno != 10)
         self._log(f"{insn_idx}: {disasm_insn(insn, insn_idx, nxt)}"
                   f"  [{live}]")
-
-    def _commit(self, trace: List[Tuple[int, VerifierState]],
-                explored: ExploredStates) -> None:
-        """A walk finished safely: its checkpoints become prune bases."""
-        for insn_idx, snapshot in trace:
-            explored.remember(insn_idx, snapshot)
 
     # -- ld_imm64 -------------------------------------------------------------
 

@@ -1,0 +1,257 @@
+"""Chaos replay: the attack corpus under injected faults.
+
+Every attack case already exercises one containment mechanism; this
+harness replays the *whole corpus* while the fault plane degrades the
+kernel under it — helpers failing, allocators refusing, timers
+slipping, loaders rejecting — and checks that containment still
+composes.  Three things must hold for every (case × schedule) pair:
+
+1. **Sandbox boundary**: nothing but :class:`~repro.errors.ReproError`
+   subclasses (simulated kernel events) crosses out of the run.  A
+   raw ``KeyError`` escaping means the *simulation* broke, not the
+   simulated kernel.
+2. **Balance**: after the run, the kernel passes every invariant in
+   :mod:`repro.faultinject.invariants` — RCU nesting, preemption,
+   program stacks, pool bump pointers, ringbuf reservations,
+   per-extension refcounts, watchdog hooks.
+3. **Official panic path**: kernel taint and the oops log agree; a
+   kernel never dies without a record, or records a death it didn't
+   have.
+
+Determinism is part of the contract: the whole replay is a pure
+function of the seed, which ``--check-determinism`` (used by
+``make chaos``) proves by running everything twice and comparing
+fault-trace signatures.
+
+Run it: ``PYTHONPATH=src python -m repro.faultinject.chaos``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks.corpus import build_corpus, run_case
+from repro.errors import ReproError
+from repro.faultinject.invariants import (
+    collect_violations,
+    panic_path_consistent,
+)
+from repro.faultinject.plane import (
+    EINVAL,
+    ENOMEM,
+    ENOSPC,
+    FaultAction,
+    FaultPlane,
+    NthHit,
+    Probability,
+)
+from repro.kernel.kernel import Kernel
+
+DEFAULT_SEED = 20230622  # HotOS'23
+
+
+def _arm_helper_errno(plane: FaultPlane) -> None:
+    """Hostile kernel services: helpers and map ops fail randomly."""
+    plane.arm("helper.*", Probability(0.2), FaultAction.err(EINVAL))
+    plane.arm("map.update", Probability(0.3), FaultAction.err(ENOMEM))
+    plane.arm("map.delete", Probability(0.3), FaultAction.err(EINVAL))
+
+
+def _arm_alloc_pressure(plane: FaultPlane) -> None:
+    """Memory pressure: every allocator path is unreliable."""
+    plane.arm("pool.alloc", Probability(0.5), FaultAction.err(ENOMEM))
+    plane.arm("map.alloc", Probability(0.5), FaultAction.err(ENOSPC))
+    plane.arm("map.lookup", Probability(0.1), FaultAction.err(ENOMEM))
+
+
+def _arm_timer_chaos(plane: FaultPlane) -> None:
+    """Sloppy time: watchdog delivery slips, grace periods stretch,
+    helpers stall on the virtual clock."""
+    plane.arm("watchdog.fire", NthHit(2, every=True),
+              FaultAction.delay(200_000))
+    plane.arm("rcu.synchronize", Probability(0.5),
+              FaultAction.delay(1_000_000))
+    plane.arm("helper.*", Probability(0.05),
+              FaultAction.delay(10_000))
+
+
+def _arm_load_chaos(plane: FaultPlane) -> None:
+    """Control plane under attack: loads fail, one helper panics."""
+    plane.arm("load.verify", Probability(0.5), FaultAction.err(EINVAL))
+    plane.arm("load.signature", Probability(0.5),
+              FaultAction.err(EINVAL))
+    plane.arm("helper.*", NthHit(5), FaultAction.panic())
+
+
+#: the canned schedules ``make chaos`` replays (name -> armer)
+SCHEDULES: Dict[str, Callable[[FaultPlane], None]] = {
+    "helper-errno": _arm_helper_errno,
+    "alloc-pressure": _arm_alloc_pressure,
+    "timer-chaos": _arm_timer_chaos,
+    "load-chaos": _arm_load_chaos,
+}
+
+
+def case_seed(seed: int, case_id: str, schedule: str) -> int:
+    """Per-(case, schedule) seed, derived stably from the master seed
+    (``hash()`` is salted per interpreter run, so not that)."""
+    digest = hashlib.sha256(
+        f"{seed}:{case_id}:{schedule}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class CaseResult:
+    """One (case × schedule) replay."""
+
+    case_id: str
+    schedule: str
+    outcome: str
+    faults_injected: int
+    trace_signature: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held for this replay."""
+        return not self.violations
+
+
+@dataclass
+class ChaosReport:
+    """One full corpus replay."""
+
+    seed: int
+    results: List[CaseResult]
+
+    @property
+    def violations(self) -> List[str]:
+        """Every violation across the replay, labeled by case."""
+        return [f"{r.case_id} × {r.schedule}: {v}"
+                for r in self.results for v in r.violations]
+
+    @property
+    def clean(self) -> bool:
+        """True when the whole replay held every invariant."""
+        return not self.violations
+
+    @property
+    def total_faults(self) -> int:
+        """Faults delivered across every case and schedule."""
+        return sum(r.faults_injected for r in self.results)
+
+    def signature(self) -> str:
+        """Digest of every per-case fault trace, for determinism
+        comparisons across whole replays."""
+        digest = hashlib.sha256()
+        for r in self.results:
+            digest.update(
+                f"{r.case_id}:{r.schedule}:{r.outcome}:"
+                f"{r.trace_signature}".encode())
+        return digest.hexdigest()
+
+
+def run_case_under_schedule(case: object, schedule: str,
+                            seed: int) -> CaseResult:
+    """Replay one attack case on a fresh kernel with one canned fault
+    schedule armed."""
+    kernel = Kernel()
+    plane = kernel.faults
+    plane.enable(case_seed(seed, case.case_id, schedule))
+    SCHEDULES[schedule](plane)
+    violations: List[str] = []
+    try:
+        outcome = run_case(case, kernel=kernel).value
+    except ReproError as exc:
+        # a simulated kernel event crossing the boundary is legal;
+        # the invariants below decide whether it was handled cleanly
+        outcome = f"raised:{type(exc).__name__}"
+    except Exception as exc:  # noqa: BLE001 — the point of the harness
+        outcome = f"escaped:{type(exc).__name__}"
+        violations.append(
+            "non-kernel exception escaped the sandbox boundary: "
+            f"{type(exc).__name__}: {exc}")
+    violations.extend(collect_violations(kernel))
+    if not panic_path_consistent(kernel):
+        violations.append(
+            "taint/oops mismatch: kernel died outside the official "
+            f"panic path (tainted={kernel.log.tainted}, "
+            f"oopses={len(kernel.log.oopses)})")
+    return CaseResult(
+        case_id=case.case_id, schedule=schedule, outcome=outcome,
+        faults_injected=len(plane.records),
+        trace_signature=plane.trace_signature(),
+        violations=violations)
+
+
+def run_chaos(seed: int = DEFAULT_SEED,
+              schedules: Optional[Sequence[str]] = None,
+              case_ids: Optional[Sequence[str]] = None) -> ChaosReport:
+    """Replay the full corpus under every requested schedule."""
+    names = list(schedules or SCHEDULES)
+    for name in names:
+        if name not in SCHEDULES:
+            raise ValueError(f"unknown chaos schedule {name!r} "
+                             f"(have: {', '.join(SCHEDULES)})")
+    cases = build_corpus()
+    if case_ids:
+        wanted = set(case_ids)
+        cases = [c for c in cases if c.case_id in wanted]
+    results = [run_case_under_schedule(case, name, seed)
+               for name in names for case in cases]
+    return ChaosReport(seed=seed, results=results)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``make chaos``); returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faultinject.chaos",
+        description="Replay the attack corpus under fault schedules "
+                    "and check isolation invariants.")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="master seed (default %(default)s)")
+    parser.add_argument("--schedule", action="append", default=None,
+                        choices=sorted(SCHEDULES),
+                        help="schedule to replay (repeatable; "
+                             "default: all)")
+    parser.add_argument("--case", action="append", default=None,
+                        help="restrict to one case id (repeatable)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="replay twice and require identical "
+                             "fault traces")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every case result")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(args.seed, args.schedule, args.case)
+    if args.verbose:
+        for r in report.results:
+            mark = "ok " if r.ok else "BAD"
+            print(f"  {mark} {r.schedule:>14} {r.case_id:<24} "
+                  f"faults={r.faults_injected:<3} {r.outcome}")
+    print(f"chaos: {len(report.results)} replays, "
+          f"{report.total_faults} faults injected, "
+          f"{len(report.violations)} violations "
+          f"(seed {report.seed})")
+    status = 0
+    for violation in report.violations:
+        print(f"chaos: VIOLATION: {violation}")
+        status = 1
+    if args.check_determinism:
+        again = run_chaos(args.seed, args.schedule, args.case)
+        if again.signature() != report.signature():
+            print("chaos: NONDETERMINISM: second replay produced a "
+                  "different fault trace")
+            status = 1
+        else:
+            print("chaos: determinism check passed "
+                  f"(signature {report.signature()[:16]}…)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Isolation invariants: what must be true of a kernel after any run.
+
+The paper's framework promises *graceful degradation*: whatever an
+extension does — and whatever faults the injection plane deals it —
+the kernel afterwards is either healthy with all transient state
+released, or it went down through the official panic path.  This
+module states that as a checkable predicate over one
+:class:`~repro.kernel.kernel.Kernel`, shared by the chaos harness and
+the pytest leak-check fixtures so both enforce exactly the same
+contract.
+
+The checks deliberately cover only state that every framework path
+releases in ``finally`` blocks (RCU nesting, preemption, program
+stacks, pool bump pointers, watchdog hooks) or tracks by holder
+(refcounts, ringbuf reservations).  Long-lived state a test sets up on
+purpose — contexts (``pt_regs``, ``skb``), map storage, loaded
+programs — is not a leak and is not flagged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+#: refcount holders whose outstanding references are extension leaks;
+#: everything else (e.g. the corpus's deliberately-lost
+#: ``kernel-sk-lookup-lost`` attribution) is an experiment's business
+EXTENSION_HOLDER_PREFIXES = ("bpf:", "safelang:")
+
+_RINGBUF_REC = re.compile(r"ringbuf\d+_rec$")
+
+
+def collect_violations(
+        kernel: object,
+        holder_prefixes: Iterable[str] = EXTENSION_HOLDER_PREFIXES,
+) -> List[str]:
+    """Every isolation-invariant violation visible on ``kernel``.
+
+    Returns human-readable strings (empty list = balanced).  Callers
+    decide severity: the chaos harness fails the run, the pytest
+    fixture fails the test.
+    """
+    violations: List[str] = []
+
+    rcu = kernel.rcu
+    if rcu.read_lock_held:
+        violations.append(
+            f"RCU read lock still held (nesting {rcu._nesting}, "
+            f"holder {rcu._holder})")
+
+    for cpu in kernel.cpus:
+        if cpu._preempt_count != 0:
+            violations.append(
+                f"cpu{cpu.cpu_id}: preempt_count "
+                f"{cpu._preempt_count} != 0")
+        if cpu._irq_depth != 0:
+            violations.append(
+                f"cpu{cpu.cpu_id}: irq depth {cpu._irq_depth} != 0")
+        pool = cpu.storage.get("safelang_pool")
+        if pool is not None and pool.used != 0:
+            violations.append(
+                f"cpu{cpu.cpu_id}: pool holds {pool.used} bytes "
+                "after teardown (reset missing)")
+
+    for alloc in kernel.mem.live_allocations():
+        if alloc.type_name == "bpf_stack":
+            violations.append(
+                f"live bpf_stack allocation at {alloc.base:#x} "
+                f"(owner {alloc.owner})")
+        elif _RINGBUF_REC.match(alloc.type_name):
+            violations.append(
+                f"outstanding ringbuf reservation at {alloc.base:#x} "
+                f"({alloc.type_name}, never submitted or discarded)")
+
+    prefixes = tuple(holder_prefixes)
+    for holder in kernel.refs.outstanding_holders():
+        if not holder.startswith(prefixes):
+            continue
+        leaked = kernel.refs.outstanding_for(holder)
+        detail = ", ".join(
+            f"{e.outstanding}x {e.obj.type_name}:{e.obj.name}"
+            for e in leaked)
+        violations.append(f"{holder} holds leaked references: {detail}")
+
+    for name in kernel.clock.tick_callback_names():
+        if name.startswith("watchdog:"):
+            violations.append(f"stale watchdog tick callback {name}")
+
+    return violations
+
+
+def panic_path_consistent(kernel: object) -> bool:
+    """True when taint and the oops record agree: a kernel is either
+    healthy with no oopses, or tainted *with* the oops recorded — a
+    taint flag without a record (or vice versa) means something died
+    outside the official panic path."""
+    return kernel.log.tainted == bool(kernel.log.oopses)

@@ -1,0 +1,406 @@
+"""The fault-injection plane: named failpoints + seeded schedules.
+
+Modeled on the kernel's own fault-injection framework
+(``CONFIG_FAULT_INJECTION``: ``failslab``, ``fail_function``,
+``fail_make_request``) with one crucial difference — everything here is
+*deterministic*.  A single seed drives one :class:`random.Random`; the
+simulation itself is deterministic, so the sequence of failpoint hits
+is deterministic, so the sequence of injected faults is a pure function
+of (workload, armed schedules, seed).  Chaos runs are therefore
+replayable: the same seed produces the same fault trace, byte for
+byte, which :meth:`FaultPlane.trace_signature` asserts.
+
+Hot-path contract: the plane follows the telemetry rule ("off costs one
+attribute test").  Sites guard every check with ``if plane.armed:`` —
+a plain bool that is False unless the plane is both enabled and has at
+least one armed failpoint — so the dispatch loop pays nothing when no
+chaos experiment is running.
+
+Site naming: dotted, lowercase, most-significant first, with wildcard
+matching via :mod:`fnmatch` (``helper.*`` arms every helper).  The
+well-known sites are listed in :data:`KNOWN_SITES`; the plane does not
+reject unknown names (a test may invent private sites), the registry
+exists so ``bpftool fault list`` can show users what is wired.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# errno numbers (sites return the *negative* value, kernel-style)
+ENOENT = 2
+E2BIG = 7
+ENOMEM = 12
+EFAULT = 14
+EINVAL = 22
+ENOSPC = 28
+
+ERRNO_NAMES: Dict[str, int] = {
+    "ENOENT": ENOENT,
+    "E2BIG": E2BIG,
+    "ENOMEM": ENOMEM,
+    "EFAULT": EFAULT,
+    "EINVAL": EINVAL,
+    "ENOSPC": ENOSPC,
+}
+
+#: the failpoints wired into the simulation, for ``bpftool fault list``
+KNOWN_SITES: Dict[str, str] = {
+    "helper.<name>": (
+        "eBPF helper dispatch; errno becomes the helper's return "
+        "value, panic oopses through the official panic path"),
+    "map.lookup": "map lookup; errno makes the lookup miss",
+    "map.update": "map update; errno returned to the caller",
+    "map.delete": "map delete; errno returned to the caller",
+    "map.alloc": (
+        "per-element map allocation (hash value kmalloc, ringbuf "
+        "record); fault surfaces as -ENOMEM/-ENOSPC"),
+    "pool.alloc": (
+        "SafeLang per-CPU pool allocation; fault counts as an "
+        "exhaustion and returns NULL to the extension"),
+    "watchdog.fire": (
+        "watchdog delivery; errno/panic suppress this delivery "
+        "attempt, delay pushes the deadline by delay_ns"),
+    "rcu.synchronize": "grace-period wait; delay stretches it",
+    "load.verify": (
+        "eBPF verifier entry; errno rejects the program, panic "
+        "oopses as a verifier internal fault"),
+    "load.signature": (
+        "SafeLang signature check; any fault makes verification "
+        "fail"),
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What to do when a schedule fires.
+
+    ``kind`` is one of ``"errno"`` (site fails with ``-errno``),
+    ``"panic"`` (site takes the official panic path) or ``"delay"``
+    (``delay_ns`` virtual nanoseconds pass before the site proceeds).
+    """
+
+    kind: str
+    errno: int = 0
+    delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("errno", "panic", "delay"):
+            raise ValueError(f"unknown fault action kind {self.kind!r}")
+        if self.kind == "errno" and self.errno <= 0:
+            raise ValueError("errno action needs a positive errno")
+        if self.kind == "delay" and self.delay_ns <= 0:
+            raise ValueError("delay action needs a positive delay_ns")
+
+    @staticmethod
+    def err(errno: int) -> "FaultAction":
+        """Fail with ``-errno``."""
+        return FaultAction("errno", errno=errno)
+
+    @staticmethod
+    def panic() -> "FaultAction":
+        """Take the official panic path at the site."""
+        return FaultAction("panic")
+
+    @staticmethod
+    def delay(delay_ns: int) -> "FaultAction":
+        """Stall the site for ``delay_ns`` virtual nanoseconds."""
+        return FaultAction("delay", delay_ns=delay_ns)
+
+    def describe(self) -> str:
+        """Human-readable form (``errno:ENOMEM``, ``delay:5000``)."""
+        if self.kind == "errno":
+            for name, num in ERRNO_NAMES.items():
+                if num == self.errno:
+                    return f"errno:{name}"
+            return f"errno:{self.errno}"
+        if self.kind == "delay":
+            return f"delay:{self.delay_ns}"
+        return "panic"
+
+
+class Schedule:
+    """Decides, per failpoint hit, whether the fault fires.
+
+    Schedules are stateless with respect to the plane: they see the
+    1-based hit index of *their own arm* and the plane's seeded RNG.
+    Subclasses with internal state (``Scripted``) belong to exactly one
+    arm.
+    """
+
+    def decide(self, hit: int, rng: Random) -> bool:
+        """True when the fault should fire on this hit."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Parseable human-readable form (``prob:0.5``)."""
+        raise NotImplementedError
+
+
+class Probability(Schedule):
+    """Fire on each hit with probability ``p`` (seeded, reproducible)."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability {p} outside [0, 1]")
+        self.p = p
+
+    def decide(self, hit: int, rng: Random) -> bool:
+        """See :meth:`Schedule.decide`."""
+        return rng.random() < self.p
+
+    def describe(self) -> str:
+        """See :meth:`Schedule.describe`."""
+        return f"prob:{self.p:g}"
+
+
+class NthHit(Schedule):
+    """Fire on hit ``n`` exactly once — or on every multiple of ``n``
+    when ``every`` is set (the kernel's ``interval=`` knob)."""
+
+    def __init__(self, n: int, every: bool = False) -> None:
+        if n < 1:
+            raise ValueError("nth-hit schedule needs n >= 1")
+        self.n = n
+        self.every = every
+
+    def decide(self, hit: int, rng: Random) -> bool:
+        """See :meth:`Schedule.decide`."""
+        if self.every:
+            return hit % self.n == 0
+        return hit == self.n
+
+    def describe(self) -> str:
+        """See :meth:`Schedule.describe`."""
+        return f"every:{self.n}" if self.every else f"nth:{self.n}"
+
+
+class OneShot(NthHit):
+    """Fire on the first hit, then never again."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def describe(self) -> str:
+        """See :meth:`Schedule.describe`."""
+        return "oneshot"
+
+
+class Scripted(Schedule):
+    """Replay an explicit fire/skip sequence, one entry per hit.
+
+    Past the end of the script the fault never fires again — a script
+    is a finite experiment, not a cycle.
+    """
+
+    def __init__(self, script: Sequence[bool]) -> None:
+        self.script: Tuple[bool, ...] = tuple(bool(x) for x in script)
+
+    def decide(self, hit: int, rng: Random) -> bool:
+        """See :meth:`Schedule.decide`."""
+        if hit <= len(self.script):
+            return self.script[hit - 1]
+        return False
+
+    def describe(self) -> str:
+        """See :meth:`Schedule.describe`."""
+        return "script:" + ",".join("1" if x else "0"
+                                    for x in self.script)
+
+
+@dataclass
+class ArmedFailpoint:
+    """One armed (pattern, schedule, action) rule."""
+
+    pattern: str
+    schedule: Schedule
+    action: FaultAction
+    hits: int = 0
+    fires: int = 0
+
+    def matches(self, site: str) -> bool:
+        """True when ``site`` falls under this rule's pattern."""
+        return fnmatch.fnmatchcase(site, self.pattern)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One delivered fault, as it appears in the fault trace."""
+
+    seq: int
+    site: str
+    pattern: str
+    kind: str
+    errno: int
+    delay_ns: int
+    hit: int
+    now_ns: int
+
+    def as_tuple(self) -> Tuple[object, ...]:
+        """Stable tuple form, hashed into the trace signature."""
+        return (self.seq, self.site, self.pattern, self.kind,
+                self.errno, self.delay_ns, self.hit, self.now_ns)
+
+
+class FaultPlane:
+    """Per-kernel fault delivery: armed failpoints + the fault trace.
+
+    Sites call ``plane.check("site.name")`` — but only behind an
+    ``if plane.armed:`` guard, keeping the disabled plane free.  The
+    returned :class:`FaultAction` (or None) tells the site what to do;
+    errno and panic semantics are the *site's* job because only the
+    site knows its error convention.  Delay is applied here on the
+    virtual clock unless the site opts out (the watchdog must: its
+    check runs inside a clock tick callback, where a nested
+    ``clock.advance`` would recurse).
+    """
+
+    def __init__(self, clock: Optional[object] = None,
+                 telemetry: Optional[object] = None) -> None:
+        self.clock = clock
+        self.telemetry = telemetry
+        #: the single-attribute hot-path gate; True iff enabled and
+        #: at least one failpoint is armed
+        self.armed = False
+        self.enabled = False
+        self.seed: Optional[int] = None
+        self._rng = Random(0)
+        self.arms: List[ArmedFailpoint] = []
+        self.records: List[FaultRecord] = []
+        self.site_hits: Dict[str, int] = {}
+
+    # -- control plane ------------------------------------------------------
+
+    def enable(self, seed: int = 0) -> None:
+        """Turn delivery on, reseeding the RNG (replay starts here)."""
+        self.enabled = True
+        self.seed = seed
+        self._rng = Random(seed)
+        self._update_gate()
+
+    def disable(self) -> None:
+        """Turn delivery off; armed rules are kept for inspection."""
+        self.enabled = False
+        self._update_gate()
+
+    def arm(self, pattern: str, schedule: Schedule,
+            action: FaultAction) -> ArmedFailpoint:
+        """Arm a failpoint rule; rules are consulted in arm order and
+        the first one whose schedule fires wins the hit."""
+        rule = ArmedFailpoint(pattern, schedule, action)
+        self.arms.append(rule)
+        self._update_gate()
+        return rule
+
+    def disarm(self, pattern: str) -> int:
+        """Remove every rule with exactly this pattern; returns how
+        many were removed."""
+        before = len(self.arms)
+        self.arms = [a for a in self.arms if a.pattern != pattern]
+        self._update_gate()
+        return before - len(self.arms)
+
+    def reset(self) -> None:
+        """Disarm everything and clear the trace (counters included)."""
+        self.arms = []
+        self.records = []
+        self.site_hits = {}
+        self._update_gate()
+
+    def _update_gate(self) -> None:
+        self.armed = self.enabled and bool(self.arms)
+
+    # -- delivery -----------------------------------------------------------
+
+    def check(self, site: str,
+              apply_delay: bool = True) -> Optional[FaultAction]:
+        """One failpoint hit: consult armed rules, deliver at most one
+        fault, record it.  Returns the action to apply, or None."""
+        if not self.armed:
+            return None
+        self.site_hits[site] = self.site_hits.get(site, 0) + 1
+        for arm in self.arms:
+            if not arm.matches(site):
+                continue
+            arm.hits += 1
+            if not arm.schedule.decide(arm.hits, self._rng):
+                continue
+            arm.fires += 1
+            action = arm.action
+            self.records.append(FaultRecord(
+                seq=len(self.records), site=site, pattern=arm.pattern,
+                kind=action.kind, errno=action.errno,
+                delay_ns=action.delay_ns, hit=arm.hits,
+                now_ns=self.clock.now_ns if self.clock else 0))
+            if self.telemetry is not None:
+                self.telemetry.record_fault(
+                    site, action.describe(),
+                    {"pattern": arm.pattern, "hit": arm.hits})
+            if action.kind == "delay" and apply_delay \
+                    and self.clock is not None:
+                self.clock.advance(action.delay_ns)
+            return action
+        return None
+
+    # -- inspection ---------------------------------------------------------
+
+    def trace_signature(self) -> str:
+        """SHA-256 over the fault trace; two runs with the same seed
+        and workload must produce the same signature."""
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(repr(record.as_tuple()).encode())
+        return digest.hexdigest()
+
+    def status(self) -> List[Dict[str, object]]:
+        """Per-rule counters for ``bpftool fault status``."""
+        return [{
+            "pattern": arm.pattern,
+            "schedule": arm.schedule.describe(),
+            "action": arm.action.describe(),
+            "hits": arm.hits,
+            "fires": arm.fires,
+        } for arm in self.arms]
+
+
+# -- CLI parsing helpers (shared by bpftool and the chaos harness) ----------
+
+def parse_action(text: str) -> FaultAction:
+    """Parse ``errno:ENOMEM`` / ``errno:22`` / ``panic`` /
+    ``delay:5000`` into a :class:`FaultAction`."""
+    kind, _, arg = text.partition(":")
+    if kind == "panic":
+        return FaultAction.panic()
+    if kind == "errno":
+        num = ERRNO_NAMES.get(arg.upper())
+        if num is None:
+            try:
+                num = abs(int(arg))
+            except ValueError:
+                raise ValueError(f"unknown errno {arg!r}") from None
+        return FaultAction.err(num)
+    if kind == "delay":
+        return FaultAction.delay(int(arg))
+    raise ValueError(f"unknown fault action {text!r}")
+
+
+def parse_schedule(text: str) -> Schedule:
+    """Parse ``prob:0.5`` / ``nth:3`` / ``every:3`` / ``oneshot`` /
+    ``script:1,0,1`` into a :class:`Schedule`."""
+    kind, _, arg = text.partition(":")
+    if kind == "oneshot":
+        return OneShot()
+    if kind == "prob":
+        return Probability(float(arg))
+    if kind == "nth":
+        return NthHit(int(arg))
+    if kind == "every":
+        return NthHit(int(arg), every=True)
+    if kind == "script":
+        return Scripted([x.strip() in ("1", "true") for x in
+                         arg.split(",") if x.strip() != ""])
+    raise ValueError(f"unknown fault schedule {text!r}")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import KernelSafetyViolation, MemoryFault
+from repro.faultinject.plane import FaultPlane
 from repro.kernel.cpu import Cpu
 from repro.kernel.funcdb import FunctionDatabase, build_default_funcdb
 from repro.kernel.ktime import VirtualClock
@@ -39,9 +40,14 @@ class Kernel:
         self.telemetry = Telemetry(clock=self.clock)
         self.log.on_oops = lambda oops: self.telemetry.record_oops(
             oops.timestamp_ns, oops.category, oops.source)
+        #: the fault-injection plane; disabled (one bool test) unless
+        #: a chaos experiment arms it
+        self.faults = FaultPlane(clock=self.clock,
+                                 telemetry=self.telemetry)
         self.mem = KernelAddressSpace()
         self.mem.fault_hook = self._on_memory_fault
         self.rcu = RcuSubsystem(self.clock, self.log)
+        self.rcu.faults = self.faults
         self.locks = LockRegistry()
         self.refs = RefcountRegistry()
         self.cpus = [Cpu(i) for i in range(nr_cpus)]

@@ -79,3 +79,8 @@ class VirtualClock:
             return len(self._tick_callbacks)
         return sum(1 for cb_name, __ in self._tick_callbacks
                    if cb_name == name)
+
+    def tick_callback_names(self) -> List[str]:
+        """Registered callback names, in registration order — leak
+        checks scan these for stale watchdog hooks."""
+        return [name for name, __ in self._tick_callbacks]

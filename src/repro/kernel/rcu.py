@@ -48,6 +48,9 @@ class RcuSubsystem:
                  stall_timeout_ns: int = DEFAULT_STALL_TIMEOUT_NS) -> None:
         self._clock = clock
         self._log = log
+        #: optional fault-injection plane (wired by the Kernel); the
+        #: ``rcu.synchronize`` failpoint stretches grace periods
+        self.faults: Optional[object] = None
         self.stall_timeout_ns = stall_timeout_ns
         self._nesting = 0
         self._section_start_ns: Optional[int] = None
@@ -86,6 +89,12 @@ class RcuSubsystem:
                 "synchronize_rcu() called with RCU read lock held "
                 f"by {self._holder}: self-deadlock",
                 source=self._holder)
+        faults = self.faults
+        if faults is not None and faults.armed:
+            # an injected delay stretches the grace period on the
+            # virtual clock (applied by the plane); errno/panic make
+            # no sense for a void wait and are ignored
+            faults.check("rcu.synchronize")
 
     #: warnings emitted per clock advance before the detector resyncs
     #: (bulk fast-forwards would otherwise emit unbounded reports)

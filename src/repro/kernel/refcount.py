@@ -117,6 +117,12 @@ class RefcountRegistry:
         return [e for e in self._ledger.values()
                 if e.holder == holder and e.outstanding > 0]
 
+    def outstanding_holders(self) -> List[str]:
+        """Every holder with outstanding references, sorted — leak
+        checks enumerate these without knowing holder names upfront."""
+        return sorted({e.holder for e in self._ledger.values()
+                       if e.outstanding > 0})
+
     def assert_no_leaks(self, holder: str) -> None:
         """Raise :class:`ResourceLeak` if ``holder`` leaked references."""
         leaks = self.outstanding_for(holder)

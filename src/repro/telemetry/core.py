@@ -104,6 +104,10 @@ class Telemetry:
         self._pool_failures = reg.counter(
             "repro_pool_alloc_failures_total",
             "Per-CPU pool exhaustion events", ("cpu",))
+        self._faults = reg.counter(
+            "repro_faults_injected_total",
+            "Faults delivered by the injection plane, by site and "
+            "action", ("site", "action"))
         # population gauges
         self._maps_live = reg.gauge(
             "repro_maps_live", "Live maps by type", ("type",))
@@ -237,6 +241,16 @@ class Telemetry:
     def record_pool_failure(self, cpu_id: int) -> None:
         """Count a per-CPU pool exhaustion event."""
         self._pool_failures.labels(cpu_id).inc()
+
+    def record_fault(self, site: str, action: str,
+                     detail: Optional[Dict[str, object]] = None) -> None:
+        """Count one injected fault and trace its delivery."""
+        self._faults.labels(site, action).inc()
+        payload: Dict[str, object] = {"action": action}
+        if detail:
+            payload.update(detail)
+        self.trace.emit(TraceEvent(
+            self._now(), "fault", "", site, payload))
 
     # -- population ---------------------------------------------------------------
 

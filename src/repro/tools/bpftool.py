@@ -11,6 +11,11 @@ Usage (each invocation boots a fresh simulated kernel):
     python -m repro.tools.bpftool trace log prog.s --repeat 3
     python -m repro.tools.bpftool helper list --class retire
     python -m repro.tools.bpftool bugs list
+    python -m repro.tools.bpftool fault list
+    python -m repro.tools.bpftool fault enable prog.s \
+        --arm 'helper.*=prob:0.5=errno:EINVAL' --seed 7 --repeat 10
+    python -m repro.tools.bpftool fault status prog.s \
+        --arm 'map.update=nth:2=errno:ENOMEM' --repeat 5
 
 The stats/trace commands model ``sysctl kernel.bpf_stats_enabled=1``
 followed by ``bpftool prog show``: the fresh kernel boots with run
@@ -35,7 +40,16 @@ from repro.ebpf.disasm import disasm
 from repro.ebpf.helpers.registry import build_default_registry
 from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
-from repro.errors import KernelSafetyViolation, VerifierError
+from repro.errors import (
+    KernelOops,
+    KernelSafetyViolation,
+    VerifierError,
+)
+from repro.faultinject.plane import (
+    KNOWN_SITES,
+    parse_action,
+    parse_schedule,
+)
 from repro.kernel import Kernel
 from repro.telemetry import to_json, to_prometheus
 
@@ -247,6 +261,115 @@ def cmd_bugs_list(args) -> int:
     return 0
 
 
+def cmd_fault_list(args) -> int:
+    """``fault list``: print the failpoint site registry."""
+    print(f"{'site':16s} semantics")
+    for site, what in KNOWN_SITES.items():
+        print(f"{site:16s} {what}")
+    print(f"({len(KNOWN_SITES)} sites; schedules: prob:P nth:N "
+          "every:N oneshot script:1,0,1; actions: errno:NAME|NUM "
+          "panic delay:NS)")
+    return 0
+
+
+def _arm_plane_from_args(plane, specs: List[str]) -> int:
+    """Arm ``SITE=SCHEDULE=ACTION`` rules from ``--arm`` options;
+    returns 0, or 2 on a malformed spec."""
+    for spec in specs or ():
+        parts = spec.split("=")
+        if len(parts) != 3:
+            print(f"bad --arm {spec!r} "
+                  "(want SITE=SCHEDULE=ACTION)", file=sys.stderr)
+            return 2
+        try:
+            plane.arm(parts[0], parse_schedule(parts[1]),
+                      parse_action(parts[2]))
+        except ValueError as error:
+            print(f"bad --arm {spec!r}: {error}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _run_under_faults(args):
+    """Load and run ``args.file`` with the fault plane enabled.
+
+    Returns ``(subsystem, exit_status)``; the subsystem is None when
+    loading failed outright."""
+    bpf = _make_subsystem(args)
+    plane = bpf.kernel.faults
+    plane.enable(args.seed)
+    status = _arm_plane_from_args(plane, args.arm)
+    if status:
+        return None, status
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file)
+    except VerifierError as error:
+        # an armed load.verify errno lands here, like a real -EINVAL
+        print(f"VERIFICATION FAILED: {error}")
+        return bpf, 1
+    except KernelOops as oops:
+        print(f"KERNEL OOPS DURING LOAD: {oops}")
+        return bpf, 2
+    status = 0
+    payload = args.payload.encode("latin-1")
+    for _ in range(max(args.repeat, 0)):
+        try:
+            if prog_type in (ProgType.XDP, ProgType.SOCKET_FILTER,
+                             ProgType.CGROUP_SKB):
+                bpf.run_on_packet(prog, payload)
+            else:
+                bpf.run_on_current_task(prog)
+        except (KernelSafetyViolation, KernelOops) as violation:
+            # injected panics die through the official panic path;
+            # report it and stop repeating, the trace is the point
+            print(f"KERNEL COMPROMISED: {violation}")
+            status = 2
+            break
+    return bpf, status
+
+
+def cmd_fault_enable(args) -> int:
+    """``fault enable``: run a program with failpoints armed and
+    print every fault the plane delivered."""
+    bpf, status = _run_under_faults(args)
+    if bpf is None:
+        return status
+    plane = bpf.kernel.faults
+    for record in plane.records:
+        print(f"  #{record.seq:<3} {record.site:24s} "
+              f"{record.kind}"
+              f"{':' + str(record.errno) if record.errno else ''}"
+              f"{':' + str(record.delay_ns) if record.delay_ns else ''}"
+              f" hit={record.hit} t={record.now_ns}ns")
+    print(f"{len(plane.records)} faults injected "
+          f"(seed {args.seed}, trace "
+          f"{plane.trace_signature()[:16]}…)")
+    return status
+
+
+def cmd_fault_status(args) -> int:
+    """``fault status``: run a program with failpoints armed and
+    print per-rule and per-site counters."""
+    bpf, status = _run_under_faults(args)
+    if bpf is None:
+        return status
+    plane = bpf.kernel.faults
+    print(f"{'pattern':20s} {'schedule':14s} {'action':14s} "
+          f"{'hits':>6} {'fires':>6}")
+    for row in plane.status():
+        print(f"{row['pattern']:20s} {row['schedule']:14s} "
+              f"{row['action']:14s} {row['hits']:6d} "
+              f"{row['fires']:6d}")
+    for site, hits in sorted(plane.site_hits.items()):
+        print(f"  site {site:24s} reached {hits} times")
+    print(f"enabled={plane.enabled} armed={plane.armed} "
+          f"seed={args.seed} faults={len(plane.records)}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -330,6 +453,32 @@ def build_parser() -> argparse.ArgumentParser:
     bugs_sub = bugs.add_subparsers(dest="action", required=True)
     bugs_list = bugs_sub.add_parser("list")
     bugs_list.set_defaults(func=cmd_bugs_list)
+
+    fault = sub.add_parser("fault", help="deterministic fault "
+                                         "injection")
+    fault_sub = fault.add_subparsers(dest="action", required=True)
+    fault_list = fault_sub.add_parser(
+        "list", help="show the failpoint site registry")
+    fault_list.set_defaults(func=cmd_fault_list)
+
+    faulty = argparse.ArgumentParser(add_help=False,
+                                     parents=[runnable])
+    faulty.add_argument("--arm", action="append",
+                        metavar="SITE=SCHEDULE=ACTION",
+                        help="arm a failpoint rule, e.g. "
+                             "'helper.*=prob:0.5=errno:EINVAL'")
+    faulty.add_argument("--seed", type=int, default=0,
+                        help="fault plane seed (default 0)")
+
+    fault_enable = fault_sub.add_parser(
+        "enable", parents=[faulty],
+        help="run a program with failpoints armed, print the faults")
+    fault_enable.set_defaults(func=cmd_fault_enable)
+
+    fault_status = fault_sub.add_parser(
+        "status", parents=[faulty],
+        help="run a program with failpoints armed, print counters")
+    fault_status.set_defaults(func=cmd_fault_status)
 
     return parser
 

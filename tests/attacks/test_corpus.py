@@ -17,6 +17,22 @@ def test_case_matches_expected_outcome(case):
     assert run_case(case) == case.expected
 
 
+class TestCorpusIsolation:
+    """Whatever the outcome — harmless, contained, or a full
+    compromise — the framework must release every transient resource
+    it took while the case ran.  The chaos harness enforces this same
+    contract under injected faults; this is the fault-free baseline,
+    via the shared ``leakcheck`` fixture."""
+
+    @pytest.mark.parametrize("case", CORPUS,
+                             ids=[c.case_id for c in CORPUS])
+    def test_transient_state_balanced_after_case(self, case,
+                                                 leakcheck):
+        kernel = Kernel()
+        leakcheck(kernel)
+        run_case(case, kernel=kernel)
+
+
 class TestCorpusShape:
     def test_every_property_covered_in_both_frameworks(self):
         properties = {c.safety_property for c in CORPUS}

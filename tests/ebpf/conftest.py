@@ -7,10 +7,18 @@ from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
 from repro.kernel import Kernel
 
+from tests.conftest import assert_kernel_isolated
+
 
 @pytest.fixture
-def kernel():
-    return Kernel()
+def kernel(request):
+    """A fresh kernel, isolation-checked at teardown (opt out with
+    ``@pytest.mark.dirty_kernel``)."""
+    k = Kernel()
+    yield k
+    if request.node.get_closest_marker("dirty_kernel"):
+        return
+    assert_kernel_isolated(k)
 
 
 @pytest.fixture

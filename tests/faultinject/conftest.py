@@ -1,0 +1,18 @@
+"""Fixtures for fault-injection tests."""
+
+import pytest
+
+from repro.kernel import Kernel
+
+from tests.conftest import assert_kernel_isolated
+
+
+@pytest.fixture
+def kernel(request):
+    """A fresh kernel, isolation-checked at teardown (opt out with
+    ``@pytest.mark.dirty_kernel``)."""
+    k = Kernel()
+    yield k
+    if request.node.get_closest_marker("dirty_kernel"):
+        return
+    assert_kernel_isolated(k)
