@@ -2,7 +2,7 @@
 # Beyond `make test`: `make coverage` for a line-coverage gate and
 # `make chaos` for the fault-injection corpus replay.
 
-.PHONY: test bench bench-all coverage chaos
+.PHONY: test bench bench-all coverage chaos recover
 
 # Tier-1 suite (must stay green).
 test:
@@ -24,6 +24,14 @@ coverage:
 chaos:
 	PYTHONPATH=src python -m repro.faultinject.chaos \
 		--check-determinism
+
+# Same corpus replay with the recovery supervisor enabled: every case
+# must leave the kernel alive (oopses contained, taint clear), plus a
+# per-schedule demonstration that a crashing program is quarantined
+# and auto-reloaded back to health — deterministically per seed.
+recover:
+	PYTHONPATH=src python -m repro.faultinject.chaos \
+		--recover --check-determinism
 
 # Interpreter/load-cache throughput plus telemetry overhead. Writes
 # BENCH_throughput.json (fast-path speedup ratio gated at 80% of

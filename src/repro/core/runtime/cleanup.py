@@ -28,6 +28,7 @@ class CleanupList:
                  capacity: int = 128) -> None:
         self._entries: List[KernelResource] = []
         self.capacity = capacity
+        self._pool = pool
         # model the §3.1 no-dynamic-allocation constraint: the record
         # storage is carved from the pool up front
         self._pool_block = pool.alloc(capacity * 16) if pool else None
@@ -67,6 +68,35 @@ class CleanupList:
                 ran += 1
         self._entries.clear()
         return ran
+
+    def teardown(self) -> int:
+        """End-of-invocation teardown: run any pending destructors and
+        give the record storage back to the pool.
+
+        The record block is carved at construction; without this it
+        outlives the invocation and the pool leaks ``capacity * 16``
+        bytes per run.  Idempotent.  Returns how many destructors ran.
+        """
+        ran = self.terminate()
+        if self._pool is not None and self._pool_block is not None:
+            self._pool.free(self._pool_block)
+        self.assert_torn_down()
+        return ran
+
+    @property
+    def torn_down(self) -> bool:
+        """True once the record storage went back to the pool."""
+        return self._pool_block is None or self._pool_block.freed
+
+    def assert_torn_down(self) -> None:
+        """Leak check: the record block must be back in the pool and
+        every destructor must have run."""
+        if not self.torn_down:
+            raise AssertionError(
+                "cleanup record block leaked: "
+                f"{self._pool_block.size} bytes still carved from "
+                "the pool after teardown")
+        self.assert_clean()
 
     def assert_clean(self) -> None:
         """Post-run invariant: nothing left unreleased."""

@@ -22,6 +22,8 @@ class PoolBlock:
 
     offset: int
     size: int
+    #: set by :meth:`MemoryPool.free` / :meth:`MemoryPool.reset`
+    freed: bool = False
 
 
 class MemoryPool:
@@ -39,11 +41,16 @@ class MemoryPool:
         self._top = 0
         self.high_water = 0
         self.failed_allocs = 0
+        self._blocks: List[PoolBlock] = []
 
     @property
     def used(self) -> int:
         """Bytes currently allocated."""
         return self._top
+
+    def live_blocks(self) -> List[PoolBlock]:
+        """Blocks handed out and not yet freed (leak accounting)."""
+        return [b for b in self._blocks if not b.freed]
 
     def alloc(self, size: int) -> Optional[PoolBlock]:
         """Allocate ``size`` bytes; None when the pool is exhausted —
@@ -74,10 +81,29 @@ class MemoryPool:
         block = PoolBlock(self._top, size)
         self._top += aligned
         self.high_water = max(self.high_water, self._top)
+        self._blocks.append(block)
         return block
+
+    def free(self, block: Optional[PoolBlock]) -> None:
+        """Return one block to the pool.  Idempotent; None is a no-op
+        (a failed alloc has nothing to free).
+
+        A bump allocator can only rewind: freeing the topmost block
+        (and any already-freed blocks below it) lowers the bump
+        pointer; freeing a middle block just marks it so the space is
+        reclaimed when everything above it goes."""
+        if block is None or block.freed:
+            return
+        block.freed = True
+        while self._blocks and self._blocks[-1].freed:
+            top_block = self._blocks.pop()
+            self._top = top_block.offset
 
     def reset(self) -> None:
         """Free everything (end of extension invocation)."""
+        for block in self._blocks:
+            block.freed = True
+        self._blocks.clear()
         self._top = 0
 
     def destroy(self) -> None:
@@ -87,7 +113,7 @@ class MemoryPool:
         framework — a genuine kernel memory leak, one region per
         framework instance.  Idempotent.
         """
-        self._top = 0
+        self.reset()
         if not self.region.freed:
             self.kernel.mem.kfree(self.region)
         if self.cpu.storage.get("safelang_pool") is self:

@@ -23,12 +23,19 @@ class Watchdog:
     def __init__(self, clock: VirtualClock, budget_ns: int,
                  name: str = "extension",
                  on_fire: Optional[Callable[["Watchdog"], None]] = None,
-                 faults: Optional[object] = None) -> None:
+                 faults: Optional[object] = None,
+                 log: Optional[object] = None) -> None:
         if budget_ns <= 0:
             raise ValueError("watchdog budget must be positive")
         self.clock = clock
         self.budget_ns = budget_ns
         self.name = name
+        #: optional kernel log; a fire is then visible in dmesg, which
+        #: is how the recovery audit trail sees watchdog kills
+        self.log = log
+        #: total budget exhaustions over this watchdog's lifetime
+        self.fire_count = 0
+        self.last_fire_ns: Optional[int] = None
         #: invoked exactly once per firing, at the clock tick that
         #: exhausts the budget (telemetry hooks in here)
         self.on_fire = on_fire
@@ -83,7 +90,15 @@ class Watchdog:
             # a stale callback ticking on the clock forever
             self._fired = True
             self._deadline = None
+            self.fire_count += 1
+            self.last_fire_ns = now_ns
             self.clock.remove_tick_callback(self._callback_name)
+            if self.log is not None:
+                self.log.log(
+                    now_ns,
+                    f"watchdog: extension {self.name!r} exceeded its "
+                    f"{self.budget_ns}ns budget, terminating",
+                    level="warn")
             if self.on_fire is not None:
                 self.on_fire(self)
 

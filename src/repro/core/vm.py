@@ -30,11 +30,21 @@ from repro.core.runtime.cleanup import CleanupList
 from repro.core.runtime.mempool import MemoryPool
 from repro.core.runtime.stack import StackGuard
 from repro.core.runtime.watchdog import Watchdog
-from repro.errors import ExtensionPanic, StackOverflow, WatchdogTimeout
+from repro.recovery.domain import FaultDomain
+from repro.errors import (
+    ExtensionPanic,
+    KernelSafetyViolation,
+    StackOverflow,
+    WatchdogTimeout,
+)
 from repro.kernel.kernel import Kernel
 
 #: virtual nanoseconds charged per interpreted AST step
 STEP_COST_NS = 2
+
+#: errnos surfaced through RunResult.value on supervised paths
+_EAGAIN = 11
+_EFAULT = 14
 
 _MOVED = object()
 
@@ -160,15 +170,28 @@ class ExtensionVm:
         telemetry = self.kernel.telemetry
         budget = self.watchdog_budget_ns \
             if watchdog_budget_ns is None else watchdog_budget_ns
+        supervisor = self.kernel.recovery
+        supervised = supervisor is not None and supervisor.active
+        tag = f"safelang:{prog_name}"
+        if supervised and supervisor.gate(tag):
+            # breaker open: refuse the run without touching the kernel
+            return RunResult(value=-_EAGAIN, steps=0,
+                             reason="refused: program is quarantined")
         cleanup = CleanupList(pool=self.pool)
         rt = RtEnv(self.kernel, prog_name, maps, cleanup, self.pool)
         watchdog = Watchdog(
             self.kernel.clock, budget, name=prog_name,
             on_fire=lambda wd: telemetry.record_watchdog_fire(
                 "safelang", prog_name, wd.budget_ns),
-            faults=self.kernel.faults)
+            faults=self.kernel.faults, log=self.kernel.log)
         guard = StackGuard()
         runner = _Runner(self, program, rt, watchdog, guard)
+        # the fault domain wraps OUTSIDE the balancing finally below:
+        # it snapshots entry state here and unwinds only *above* that
+        # snapshot, so containment after the finally is idempotent
+        domain = FaultDomain(self.kernel, tag, cleanup=cleanup,
+                             pool=self.pool) if supervised else None
+        contained = False
 
         rcu = self.kernel.rcu
         cpu = self.kernel.current_cpu
@@ -177,29 +200,49 @@ class ExtensionVm:
         cpu.preempt_disable()
         watchdog.arm()
         try:
-            args: List[object] = [ctx] if fn.params else []
-            value = runner.call_fn(fn, args)
-            result = RunResult(value=_as_int(value),
-                               steps=runner.steps)
-        except WatchdogTimeout as exc:
-            ran = cleanup.terminate()
-            result = RunResult(value=-1, steps=runner.steps,
-                               terminated=True,
-                               reason=f"{exc} ({ran} resources "
-                                      "cleaned)")
-        except (ExtensionPanic, StackOverflow, MemoryError) as exc:
-            telemetry.record_panic("safelang", prog_name, str(exc))
-            ran = cleanup.terminate()
-            result = RunResult(value=-1, steps=runner.steps,
+            try:
+                args: List[object] = [ctx] if fn.params else []
+                value = runner.call_fn(fn, args)
+                result = RunResult(value=_as_int(value),
+                                   steps=runner.steps)
+            except WatchdogTimeout as exc:
+                ran = cleanup.terminate()
+                result = RunResult(value=-1, steps=runner.steps,
+                                   terminated=True,
+                                   reason=f"{exc} ({ran} resources "
+                                          "cleaned)")
+            except (ExtensionPanic, StackOverflow, MemoryError) as exc:
+                telemetry.record_panic("safelang", prog_name, str(exc))
+                ran = cleanup.terminate()
+                result = RunResult(value=-1, steps=runner.steps,
+                                   panicked=True,
+                                   reason=f"{exc} ({ran} resources "
+                                          "cleaned)")
+            finally:
+                watchdog.disarm()
+                cleanup.teardown()
+                self.pool.reset()
+                cpu.preempt_enable()
+                rcu.read_unlock()
+        except KernelSafetyViolation as exc:
+            if domain is None:
+                raise
+            supervisor.contain(tag, exc, domain)
+            supervisor.note_fault(
+                tag, f"oops:{getattr(exc, 'category', 'oops')}")
+            contained = True
+            result = RunResult(value=-_EFAULT, steps=runner.steps,
                                panicked=True,
-                               reason=f"{exc} ({ran} resources "
-                                      "cleaned)")
-        finally:
-            watchdog.disarm()
-            self.pool.reset()
-            cpu.preempt_enable()
-            rcu.read_unlock()
+                               reason=f"contained by supervisor: "
+                                      f"{exc}")
         result.kcrate_calls = rt.kcrate_calls
+        if supervised and not contained:
+            if result.terminated:
+                supervisor.note_fault(tag, "watchdog")
+            elif result.panicked:
+                supervisor.note_fault(tag, "panic")
+            else:
+                supervisor.note_success(tag)
         if telemetry.stats_enabled:
             telemetry.record_run(
                 "safelang", prog_name,

@@ -170,7 +170,33 @@ class BpfSubsystem:
         ``unprivileged=True`` models a non-root loader: refused
         outright while ``unprivileged_bpf_disabled`` is set (the [22]
         default), and otherwise verified under the tighter caps with
-        pointer leaks always forbidden."""
+        pointer leaks always forbidden.
+
+        With recovery enabled the trip is supervised: transient
+        injected load errnos are retried with backoff, and a verifier
+        crash is contained (scoped taint cleared) and surfaced as a
+        plain :class:`~repro.errors.VerifierError` rejection."""
+        supervisor = self.kernel.recovery
+        if supervisor is not None and supervisor.active:
+            return supervisor.load_ebpf(
+                self, name,
+                lambda: self._load_program_raw(
+                    insns, prog_type, name,
+                    allow_ptr_leaks=allow_ptr_leaks,
+                    prune_states=prune_states, limits=limits,
+                    log_level=log_level, unprivileged=unprivileged))
+        return self._load_program_raw(
+            insns, prog_type, name, allow_ptr_leaks=allow_ptr_leaks,
+            prune_states=prune_states, limits=limits,
+            log_level=log_level, unprivileged=unprivileged)
+
+    def _load_program_raw(self, insns: Sequence[Insn],
+                          prog_type: ProgType, name: str = "prog", *,
+                          allow_ptr_leaks: bool = False,
+                          prune_states: bool = True,
+                          limits: Optional[VerifierLimits] = None,
+                          log_level: int = 1,
+                          unprivileged: bool = False) -> LoadedProgram:
         faults = self.kernel.faults
         if faults.armed:
             fault = faults.check("load.verify")
@@ -269,21 +295,32 @@ class BpfSubsystem:
 
     # -- execution ---------------------------------------------------------------
 
+    def _dispatch(self, prog: LoadedProgram, ctx_addr: int) -> int:
+        """One program invocation, supervised when recovery is on.
+
+        The unsupervised path pays exactly one attribute test over the
+        bare ``vm.run`` — this is the hot path the benchmarks drive."""
+        supervisor = self.kernel.recovery
+        if supervisor is None or not supervisor.active:
+            return self.vm.run(prog, ctx_addr)
+        return supervisor.run_ebpf(
+            self, prog, lambda: self.vm.run(prog, ctx_addr))
+
     def run(self, prog: LoadedProgram, ctx_addr: int) -> int:
         """Run a program on a raw context address."""
-        return self.vm.run(prog, ctx_addr)
+        return self._dispatch(prog, ctx_addr)
 
     def run_on_packet(self, prog: LoadedProgram,
                       payload: bytes) -> int:
         """Build an skb for ``payload`` and run (XDP/socket filter)."""
         skb = self.kernel.create_skb(payload)
-        return self.vm.run(prog, skb.address)
+        return self._dispatch(prog, skb.address)
 
     def run_on_current_task(self, prog: LoadedProgram) -> int:
         """Run a tracing program against a pt_regs-like context."""
         regs = self.kernel.mem.kmalloc(64, type_name="pt_regs",
                                        owner="trace")
-        return self.vm.run(prog, regs.base)
+        return self._dispatch(prog, regs.base)
 
     # -- attachment points --------------------------------------------------------
 
@@ -292,7 +329,7 @@ class BpfSubsystem:
         """Attach a program to the kernel's XDP hook chain."""
         self.kernel.hooks.attach(
             "xdp", f"bpf:{prog.name}",
-            lambda skb: self.vm.run(prog, skb.address),
+            lambda skb: self._dispatch(prog, skb.address),
             priority=priority)
 
     def attach_trace(self, prog: LoadedProgram,

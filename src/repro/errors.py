@@ -53,6 +53,15 @@ class KernelOops(KernelSafetyViolation):
     category = "oops"
 
 
+class KernelPanic(KernelOops):
+    """The kernel gave up for real: containment failed (a recovery
+    invariant was violated) or the oops budget ran out, and the
+    supervisor escalated the soft failure to a hard panic.  Unlike a
+    plain oops this is never contained — it is the end state."""
+
+    category = "panic"
+
+
 class MemoryFault(KernelOops):
     """Access to an unmapped, freed, or out-of-bounds kernel address."""
 

@@ -23,6 +23,17 @@ function of the seed, which ``--check-determinism`` (used by
 ``make chaos``) proves by running everything twice and comparing
 fault-trace signatures.
 
+``--recover`` (used by ``make recover``) raises the bar from "detect
+the oops" to "survive it": every case runs with the recovery
+supervisor enabled, and afterwards the kernel must still be *alive* —
+``check_alive()`` passes, every oops contained, zero leaked locks /
+pool bytes / RCU imbalance — and per schedule a demonstration drives
+one victim program through the full arc: faults → quarantine
+(auto-detach) → breaker half-open → auto-reload from the load cache →
+recovered.  The supervisor's audit trail is folded into the replay
+signature, so the determinism check also proves quarantine decisions
+and backoff timings are a pure function of the seed.
+
 Run it: ``PYTHONPATH=src python -m repro.faultinject.chaos``.
 """
 
@@ -35,10 +46,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.corpus import build_corpus, run_case
-from repro.errors import ReproError
+from repro.ebpf import Asm, BpfSubsystem, ProgType
+from repro.ebpf.helpers import ids
+from repro.errors import ReproError, VerifierError
 from repro.faultinject.invariants import (
     collect_violations,
     panic_path_consistent,
+    recovery_consistent,
 )
 from repro.faultinject.plane import (
     EINVAL,
@@ -50,6 +64,7 @@ from repro.faultinject.plane import (
     Probability,
 )
 from repro.kernel.kernel import Kernel
+from repro.recovery import HealthState
 
 DEFAULT_SEED = 20230622  # HotOS'23
 
@@ -155,11 +170,13 @@ class ChaosReport:
         return digest.hexdigest()
 
 
-def run_case_under_schedule(case: object, schedule: str,
-                            seed: int) -> CaseResult:
+def run_case_under_schedule(case: object, schedule: str, seed: int,
+                            recover: bool = False) -> CaseResult:
     """Replay one attack case on a fresh kernel with one canned fault
-    schedule armed."""
+    schedule armed.  With ``recover`` the kernel runs supervised and
+    must end the replay *alive*, not merely balanced."""
     kernel = Kernel()
+    supervisor = kernel.enable_recovery() if recover else None
     plane = kernel.faults
     plane.enable(case_seed(seed, case.case_id, schedule))
     SCHEDULES[schedule](plane)
@@ -181,16 +198,126 @@ def run_case_under_schedule(case: object, schedule: str,
             "taint/oops mismatch: kernel died outside the official "
             f"panic path (tainted={kernel.log.tainted}, "
             f"oopses={len(kernel.log.oopses)})")
+    signature = plane.trace_signature()
+    if supervisor is not None:
+        try:
+            kernel.check_alive()
+        except ReproError as exc:
+            violations.append(
+                f"kernel not alive after supervised replay: {exc}")
+        violations.extend(recovery_consistent(kernel))
+        signature = f"{signature}:{supervisor.audit_signature()}"
     return CaseResult(
         case_id=case.case_id, schedule=schedule, outcome=outcome,
         faults_injected=len(plane.records),
-        trace_signature=plane.trace_signature(),
+        trace_signature=signature,
+        violations=violations)
+
+
+def _victim_prog() -> List[object]:
+    """call ktime_get_ns(); r0 = 0; exit — the return value is pinned
+    to 0 so injected helper errnos never leak into the exit code and a
+    half-open trial run always succeeds once the trigger is disarmed."""
+    return (Asm()
+            .call(ids.BPF_FUNC_ktime_get_ns)
+            .mov64_imm(0, 0)
+            .exit_()
+            .program())
+
+
+#: the demo's private always-fire trigger site
+_TRIGGER = "helper.bpf_ktime_get_ns"
+
+
+def demonstrate_recovery(schedule: str, seed: int) -> CaseResult:
+    """Drive one victim program through the full recovery arc under a
+    canned schedule: repeated oopses → containment → quarantine
+    (auto-detached from its hook) → refusal while the breaker is open
+    → half-open auto-reload from the load cache → trial run →
+    recovered.  Everything is checked; failures surface as violations
+    exactly like corpus replays."""
+    kernel = Kernel()
+    supervisor = kernel.enable_recovery()
+    plane = kernel.faults
+    plane.enable(case_seed(seed, "recovery-demo", schedule))
+    # the trigger is armed BEFORE the schedule so it wins the site
+    # walk; panic() at a helper boundary is the [54]-style oops the
+    # containment path exists for
+    plane.arm(_TRIGGER, Probability(1.0), FaultAction.panic())
+    SCHEDULES[schedule](plane)
+    violations: List[str] = []
+    bpf = BpfSubsystem(kernel)
+    prog = None
+    for _ in range(32):
+        # load-chaos may refuse even retried loads; keep asking
+        try:
+            prog = bpf.load_program(_victim_prog(), ProgType.KPROBE,
+                                    name="victim")
+            break
+        except VerifierError:
+            continue
+    if prog is None:
+        return CaseResult(
+            case_id="recovery-demo", schedule=schedule,
+            outcome="load-refused",
+            faults_injected=len(plane.records),
+            trace_signature=plane.trace_signature(),
+            violations=["recovery demo could not load the victim"])
+    tag = f"bpf:{prog.name}"
+    bpf.attach_trace(prog)  # so quarantine has a hook to detach
+    health = supervisor.health(tag)
+    for _ in range(16):
+        bpf.run_on_current_task(prog)
+        if health.state is HealthState.QUARANTINED:
+            break
+    if health.state is not HealthState.QUARANTINED:
+        violations.append(
+            "victim was never quarantined despite a 100% oops rate")
+    if any(att.name == tag for att in kernel.hooks.chain("trace")):
+        violations.append(
+            "victim still attached to the trace hook after quarantine")
+    refused = bpf.run_on_current_task(prog)
+    if refused != ((-11) & ((1 << 64) - 1)):  # -EAGAIN as a u64
+        violations.append(
+            f"open breaker did not refuse the run (got {refused:#x})")
+    # cure the victim; the breaker must now walk back on its own
+    plane.disarm(_TRIGGER)
+    recovered = False
+    for _ in range(64):
+        release = health.release_at_ns
+        if release is not None \
+                and kernel.clock.now_ns < release:
+            kernel.clock.advance(release - kernel.clock.now_ns + 1)
+        bpf.run_on_current_task(prog)
+        if health.state is HealthState.HEALTHY:
+            recovered = True
+            break
+    if not recovered:
+        violations.append("victim never recovered after quarantine")
+    if health.reloads < 1:
+        violations.append("breaker half-opened without auto-reload")
+    try:
+        kernel.check_alive()
+    except ReproError as exc:
+        violations.append(
+            f"kernel not alive after recovery demo: {exc}")
+    violations.extend(collect_violations(kernel))
+    violations.extend(recovery_consistent(kernel))
+    if not panic_path_consistent(kernel):
+        violations.append("taint/oops mismatch after recovery demo")
+    return CaseResult(
+        case_id="recovery-demo", schedule=schedule,
+        outcome="recovered" if recovered else "stuck",
+        faults_injected=len(plane.records),
+        trace_signature=(f"{plane.trace_signature()}:"
+                         f"{supervisor.audit_signature()}"),
         violations=violations)
 
 
 def run_chaos(seed: int = DEFAULT_SEED,
               schedules: Optional[Sequence[str]] = None,
-              case_ids: Optional[Sequence[str]] = None) -> ChaosReport:
+              case_ids: Optional[Sequence[str]] = None,
+              recover: bool = False) -> ChaosReport:
     """Replay the full corpus under every requested schedule."""
     names = list(schedules or SCHEDULES)
     for name in names:
@@ -201,8 +328,13 @@ def run_chaos(seed: int = DEFAULT_SEED,
     if case_ids:
         wanted = set(case_ids)
         cases = [c for c in cases if c.case_id in wanted]
-    results = [run_case_under_schedule(case, name, seed)
-               for name in names for case in cases]
+    results = []
+    for name in names:
+        results.extend(run_case_under_schedule(case, name, seed,
+                                               recover=recover)
+                       for case in cases)
+        if recover:
+            results.append(demonstrate_recovery(name, seed))
     return ChaosReport(seed=seed, results=results)
 
 
@@ -223,11 +355,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--check-determinism", action="store_true",
                         help="replay twice and require identical "
                              "fault traces")
+    parser.add_argument("--recover", action="store_true",
+                        help="run supervised: kernels must stay alive "
+                             "(contained oopses, no taint) and each "
+                             "schedule must demonstrate quarantine + "
+                             "auto-reload")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every case result")
     args = parser.parse_args(argv)
 
-    report = run_chaos(args.seed, args.schedule, args.case)
+    report = run_chaos(args.seed, args.schedule, args.case,
+                       recover=args.recover)
     if args.verbose:
         for r in report.results:
             mark = "ok " if r.ok else "BAD"
@@ -242,7 +380,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"chaos: VIOLATION: {violation}")
         status = 1
     if args.check_determinism:
-        again = run_chaos(args.seed, args.schedule, args.case)
+        again = run_chaos(args.seed, args.schedule, args.case,
+                          recover=args.recover)
         if again.signature() != report.signature():
             print("chaos: NONDETERMINISM: second replay produced a "
                   "different fault trace")

@@ -86,12 +86,61 @@ def collect_violations(
         if name.startswith("watchdog:"):
             violations.append(f"stale watchdog tick callback {name}")
 
+    if not kernel.log.tainted:
+        # an untainted kernel must have had every extension-held lock
+        # released; a tainted kernel's lock state is wreckage and is
+        # judged by the containment invariant instead
+        for prefix in prefixes:
+            for lock in kernel.locks.all_locks():
+                owner = lock.owner
+                if owner is not None and owner.startswith(prefix):
+                    violations.append(
+                        f"spinlock {lock.name} still held by {owner}")
+
     return violations
 
 
 def panic_path_consistent(kernel: object) -> bool:
-    """True when taint and the oops record agree: a kernel is either
-    healthy with no oopses, or tainted *with* the oops recorded — a
-    taint flag without a record (or vice versa) means something died
-    outside the official panic path."""
-    return kernel.log.tainted == bool(kernel.log.oopses)
+    """True when taint and the oops record agree.
+
+    With scoped taint the contract is: the kernel is tainted exactly
+    when it panicked or at least one recorded oops was *not* contained
+    by the recovery supervisor.  A taint flag with no backing record
+    (or an uncontained record with no taint) means something died —
+    or was forgiven — outside the official panic path.
+    """
+    log = kernel.log
+    expected = log.panicked or bool(log.uncontained_oopses())
+    return log.tainted == expected
+
+
+def recovery_consistent(kernel: object) -> List[str]:
+    """Cross-checks between the supervisor's audit trail and the
+    kernel's own records; empty list = consistent.  Trivially
+    consistent when recovery was never enabled."""
+    problems: List[str] = []
+    supervisor = kernel.recovery
+    log = kernel.log
+    contained_records = sum(1 for o in log.oopses if o.contained)
+    if supervisor is None:
+        if contained_records:
+            problems.append(
+                f"{contained_records} oopses marked contained but no "
+                "supervisor was ever attached")
+        return problems
+    # every containment the supervisor performed must reference real
+    # oops records (or have had nothing to clear), never the reverse
+    if contained_records and supervisor.contained_total == 0:
+        problems.append(
+            f"{contained_records} oopses marked contained but the "
+            "supervisor performed no containments")
+    if supervisor.escalations and not log.panicked:
+        problems.append(
+            f"supervisor escalated {supervisor.escalations}x but the "
+            "kernel never panicked")
+    for record in (supervisor.statuses()):
+        if record["state"] == "quarantined" \
+                and record["release_at_ns"] is None:
+            problems.append(
+                f"{record['tag']} quarantined without a release time")
+    return problems

@@ -62,6 +62,20 @@ class HookManager:
                 return True
         return False
 
+    def detach_everywhere(self, name: str) -> int:
+        """Remove ``name`` from every hook chain (quarantine's
+        auto-detach); returns how many attachments were removed."""
+        removed = 0
+        for hook, chain in self._hooks.items():
+            before = len(chain)
+            chain[:] = [a for a in chain if a.name != name]
+            if len(chain) != before:
+                removed += before - len(chain)
+                self.kernel.log.log(
+                    self.kernel.clock.now_ns,
+                    f"hook: detached {name} from {hook} (quarantine)")
+        return removed
+
     def chain(self, hook: str) -> List[Attachment]:
         """Current attachment order for a hook."""
         return list(self._hooks.get(hook, []))

@@ -48,7 +48,12 @@ class Kernel:
         self.mem.fault_hook = self._on_memory_fault
         self.rcu = RcuSubsystem(self.clock, self.log)
         self.rcu.faults = self.faults
-        self.locks = LockRegistry()
+        # locks created through the registry report violations through
+        # the official oops path (recovery sees them like any fault)
+        self.locks = LockRegistry(log=self.log, clock=self.clock)
+        #: the recovery supervisor, once :meth:`enable_recovery` ran;
+        #: None keeps every dispatch path on its zero-cost fast path
+        self.recovery: Optional[object] = None
         self.refs = RefcountRegistry()
         self.cpus = [Cpu(i) for i in range(nr_cpus)]
         self._current_cpu = 0
@@ -97,17 +102,53 @@ class Kernel:
 
     @property
     def healthy(self) -> bool:
-        """False once the kernel has oopsed."""
+        """False while the kernel carries an uncontained oops (or has
+        panicked for good)."""
         return not self.log.tainted
 
     def assert_healthy(self) -> None:
-        """Raise if the kernel has oopsed (experiments use this to
-        classify 'kernel compromised' outcomes)."""
-        oops = self.log.last_oops()
-        if oops is not None:
+        """Raise if the kernel is tainted (experiments use this to
+        classify 'kernel compromised' outcomes).  Contained oopses —
+        unwound and audited by the recovery supervisor — do not
+        count."""
+        self.check_alive()
+
+    def check_alive(self) -> bool:
+        """The liveness check the chaos harness runs after recovery:
+        raises :class:`~repro.errors.KernelSafetyViolation` if the
+        kernel has panicked or carries an uncontained oops; returns
+        True otherwise."""
+        if self.log.panicked:
+            raise KernelSafetyViolation(
+                f"kernel panicked: {self.log.panic_reason}",
+                source="kernel")
+        uncontained = self.log.uncontained_oopses()
+        if uncontained:
+            oops = uncontained[-1]
             raise KernelSafetyViolation(
                 f"kernel is tainted: {oops.category}: {oops.reason}",
                 source=oops.source)
+        return True
+
+    # -- recovery -----------------------------------------------------------
+
+    def enable_recovery(self, policy: Optional[object] = None) -> object:
+        """Attach the fault-containment supervisor (idempotent).
+
+        Both extension frameworks consult ``kernel.recovery`` on their
+        dispatch paths; while it is None (the default) the only cost is
+        one attribute test."""
+        if self.recovery is None:
+            from repro.recovery import Supervisor
+            self.recovery = Supervisor(self, policy=policy)
+        return self.recovery
+
+    def soft_reset(self, sources, reason: str) -> int:
+        """Clear the taint attributed to ``sources`` after their fault
+        domains were unwound — the scoped replacement for a reboot.
+        Returns how many oopses were marked contained."""
+        return self.log.mark_contained(
+            sources, self.clock.now_ns, reason)
 
     # -- time / work accounting ---------------------------------------------
 

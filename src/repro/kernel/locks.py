@@ -5,6 +5,13 @@ check that a program "only holds one lock at a time and releases the
 lock before termination" [48] (paper §2.1).  The simulated spinlock
 detects the violations directly: double acquisition (self-deadlock),
 release by a non-owner, and locks still held when an extension exits.
+
+Violations go through the *official oops path* when the lock is wired
+to a kernel log (the registry the :class:`~repro.kernel.kernel.Kernel`
+creates does this): the oops is recorded with attribution first, then
+:class:`~repro.errors.KernelDeadlock` is raised — so the recovery
+supervisor sees lock abuse exactly like any other kernel fault.
+Standalone locks (no log) just raise.
 """
 
 from __future__ import annotations
@@ -17,10 +24,13 @@ from repro.errors import KernelDeadlock, ResourceLeak
 class SpinLock:
     """A non-recursive spinlock with owner tracking."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, log: Optional[object] = None,
+                 clock: Optional[object] = None) -> None:
         self.name = name
         self._owner: Optional[str] = None
         self.acquire_count = 0
+        self._log = log
+        self._clock = clock
 
     @property
     def locked(self) -> bool:
@@ -32,46 +42,79 @@ class SpinLock:
         """Current holder, if any."""
         return self._owner
 
+    def _violation(self, reason: str, source: str) -> None:
+        """Record the violation as an oops (official path) and raise."""
+        if self._log is not None:
+            now = self._clock.now_ns if self._clock is not None else 0
+            self._log.record_oops(now, reason, category="deadlock",
+                                  source=source)
+        raise KernelDeadlock(reason, source=source)
+
     def lock(self, owner: str) -> None:
         """Acquire.  Re-acquisition by the same owner is a self-deadlock;
         acquisition while held by another simulated context would spin
         forever on one CPU, which we also surface as a deadlock."""
         if self._owner == owner:
-            raise KernelDeadlock(
+            self._violation(
                 f"AA deadlock: {owner} re-acquired spinlock {self.name}",
-                source=owner)
+                owner)
         if self._owner is not None:
-            raise KernelDeadlock(
+            self._violation(
                 f"deadlock: {owner} spinning on {self.name} "
                 f"held by {self._owner}",
-                source=owner)
+                owner)
         self._owner = owner
         self.acquire_count += 1
 
     def unlock(self, owner: str) -> None:
         """Release.  Only the holder may release."""
         if self._owner is None:
-            raise KernelDeadlock(
+            self._violation(
                 f"{owner} unlocked {self.name} which is not held",
-                source=owner)
+                owner)
         if self._owner != owner:
-            raise KernelDeadlock(
+            self._violation(
                 f"{owner} unlocked {self.name} held by {self._owner}",
-                source=owner)
+                owner)
         self._owner = None
+
+    def force_unlock(self, source: str = "recovery") -> Optional[str]:
+        """Containment release: drop the lock regardless of owner.
+
+        Used only by the recovery supervisor while unwinding a fault
+        domain; logged (not an oops — this is the cure, not the
+        disease).  Returns the previous owner, or None if unheld."""
+        previous = self._owner
+        if previous is None:
+            return None
+        self._owner = None
+        if self._log is not None:
+            now = self._clock.now_ns if self._clock is not None else 0
+            self._log.log(
+                now, f"recovery: {source} force-released spinlock "
+                     f"{self.name} (was held by {previous})",
+                level="warn")
+        return previous
 
 
 class LockRegistry:
     """All spinlocks reachable by extensions, with exit-time auditing."""
 
-    def __init__(self) -> None:
+    def __init__(self, log: Optional[object] = None,
+                 clock: Optional[object] = None) -> None:
         self._locks: List[SpinLock] = []
+        self._log = log
+        self._clock = clock
 
     def create(self, name: str) -> SpinLock:
         """Create and track a new spinlock."""
-        lock = SpinLock(name)
+        lock = SpinLock(name, log=self._log, clock=self._clock)
         self._locks.append(lock)
         return lock
+
+    def all_locks(self) -> List[SpinLock]:
+        """Every lock ever created through this registry."""
+        return list(self._locks)
 
     def held_by(self, owner: str) -> List[SpinLock]:
         """Locks currently held by ``owner``."""

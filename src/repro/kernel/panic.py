@@ -6,14 +6,20 @@ is recorded in the kernel log and raised as :class:`~repro.errors.KernelOops`
 (or a subclass); once the kernel has oopsed it is *tainted* and refuses
 further work, which is how experiments distinguish "extension was
 contained" from "kernel compromised".
+
+Taint is *scoped*, not global: an oops attributed to one extension can
+be marked **contained** after the recovery supervisor has unwound that
+extension's fault domain, which clears the taint it caused — with a
+full audit trail in the log.  A kernel is tainted while any
+*uncontained* oops exists, and permanently once it has **panicked**
+(the hard, unrecoverable state the supervisor escalates to when
+containment itself fails or the oops budget is exhausted).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
-
-from repro.errors import KernelOops
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Union
 
 
 @dataclass
@@ -38,6 +44,11 @@ class OopsRecord:
     reason: str
     category: str
     source: str
+    #: set by the recovery supervisor once this oops's fault domain was
+    #: unwound and verified; a contained oops no longer taints
+    contained: bool = False
+    #: why containment was granted (audit trail)
+    contained_reason: str = ""
 
 
 class KernelLog:
@@ -47,14 +58,22 @@ class KernelLog:
         self.records: List[LogRecord] = []
         self.oopses: List[OopsRecord] = []
         self._tainted = False
+        self._panicked = False
+        self.panic_reason: Optional[str] = None
         #: invoked with each :class:`OopsRecord` as it is recorded;
         #: the kernel wires this into the telemetry hub
         self.on_oops: Optional[Callable[[OopsRecord], None]] = None
 
     @property
     def tainted(self) -> bool:
-        """True once any oops has been recorded."""
+        """True while any *uncontained* oops exists, and permanently
+        after a panic."""
         return self._tainted
+
+    @property
+    def panicked(self) -> bool:
+        """True once the kernel went down hard (no recovery)."""
+        return self._panicked
 
     def log(self, timestamp_ns: int, message: str,
             level: str = "info") -> None:
@@ -74,6 +93,54 @@ class KernelLog:
                  level="emerg")
         self.log(timestamp_ns, "---[ end trace ]---", level="emerg")
 
+    def panic(self, timestamp_ns: int, reason: str, *,
+              source: str = "kernel") -> None:
+        """The hard stop: no containment, no recovery, taint forever."""
+        self._panicked = True
+        self._tainted = True
+        self.panic_reason = reason
+        self.log(timestamp_ns,
+                 f"Kernel panic - not syncing: {reason} "
+                 f"(source: {source})", level="emerg")
+
+    # -- scoped taint / containment -----------------------------------------
+
+    def uncontained_oopses(self) -> List[OopsRecord]:
+        """Oopses whose fault domains were never unwound."""
+        return [o for o in self.oopses if not o.contained]
+
+    @property
+    def contained_count(self) -> int:
+        """How many oopses have been contained so far (budget input)."""
+        return sum(1 for o in self.oopses if o.contained)
+
+    def mark_contained(self, sources: Union[str, Iterable[str]],
+                       timestamp_ns: int, reason: str) -> int:
+        """Mark every uncontained oops attributed to ``sources`` as
+        contained, clearing the taint they caused.  Each containment is
+        logged (the audit trail); the kernel stays tainted if oopses
+        from *other* sources remain, or if it has panicked.  Returns
+        how many oopses were marked."""
+        if isinstance(sources, str):
+            sources = {sources}
+        else:
+            sources = set(sources)
+        marked = 0
+        for oops in self.oopses:
+            if oops.contained or oops.source not in sources:
+                continue
+            oops.contained = True
+            oops.contained_reason = reason
+            marked += 1
+            self.log(timestamp_ns,
+                     f"recovery: contained oops ({oops.category}: "
+                     f"{oops.reason}) [{oops.source}]: {reason}",
+                     level="warn")
+        if marked:
+            self._tainted = self._panicked or \
+                bool(self.uncontained_oopses())
+        return marked
+
     def grep(self, needle: str) -> List[LogRecord]:
         """Return every log record containing ``needle``."""
         return [r for r in self.records if needle in r.message]
@@ -83,5 +150,6 @@ class KernelLog:
         return "\n".join(r.render() for r in self.records)
 
     def last_oops(self) -> Optional[OopsRecord]:
-        """The most recent oops, or ``None`` if the kernel is healthy."""
+        """The most recent oops, or ``None`` if the kernel never
+        oopsed."""
         return self.oopses[-1] if self.oopses else None

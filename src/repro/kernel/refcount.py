@@ -123,6 +123,22 @@ class RefcountRegistry:
         return sorted({e.holder for e in self._ledger.values()
                        if e.outstanding > 0})
 
+    def reclaim(self, holder: str) -> int:
+        """Drop every outstanding reference ``holder`` still has — the
+        recovery supervisor's unwind step for refcount leaks.  Safe on
+        already-released objects (the ledger is zeroed either way);
+        returns how many references were dropped."""
+        dropped = 0
+        for entry in self.outstanding_for(holder):
+            while entry.outstanding > 0:
+                if entry.obj.released or entry.obj.refcount <= 0:
+                    # object already gone: the ledger is stale, zero it
+                    entry.outstanding = 0
+                    break
+                entry.obj.put(holder)
+                dropped += 1
+        return dropped
+
     def assert_no_leaks(self, holder: str) -> None:
         """Raise :class:`ResourceLeak` if ``holder`` leaked references."""
         leaks = self.outstanding_for(holder)

@@ -108,6 +108,16 @@ class Telemetry:
             "repro_faults_injected_total",
             "Faults delivered by the injection plane, by site and "
             "action", ("site", "action"))
+        # recovery accounting (always on; idle when no supervisor)
+        self._recovery_events = reg.counter(
+            "repro_recovery_events_total",
+            "Supervisor decisions, by kind (retry / degraded / "
+            "quarantine / contain / recovered / escalate / ...)",
+            ("kind",))
+        self._contained = reg.counter(
+            "repro_oops_contained_total",
+            "Kernel oopses contained by fault-domain unwind, by "
+            "attributed source and category", ("source", "category"))
         # population gauges
         self._maps_live = reg.gauge(
             "repro_maps_live", "Live maps by type", ("type",))
@@ -237,6 +247,24 @@ class Telemetry:
         self.trace.emit(TraceEvent(
             self._now(), "ringbuf_drop", "", "",
             {"map_fd": map_fd, "requested": requested, "cpu": cpu}))
+
+    def record_recovery_event(
+            self, kind: str, tag: str,
+            detail: Optional[Dict[str, object]] = None) -> None:
+        """Count one supervisor decision and trace it."""
+        self._recovery_events.labels(kind).inc()
+        payload: Dict[str, object] = {"decision": kind}
+        if detail:
+            payload.update(detail)
+        self.trace.emit(TraceEvent(
+            self._now(), "recovery", "", tag, payload))
+
+    def record_containment(self, source: str, category: str) -> None:
+        """Count one contained oops, attributed to its domain."""
+        self._contained.labels(source, category).inc()
+        row = self.progs.by_source_tag(source)
+        if row is not None:
+            row.contained += 1
 
     def record_pool_failure(self, cpu_id: int) -> None:
         """Count a per-CPU pool exhaustion event."""

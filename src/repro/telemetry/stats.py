@@ -36,6 +36,8 @@ class ProgStats:
     watchdog_fires: int = 0
     panics: int = 0
     oopses: int = 0
+    #: oopses contained by the recovery supervisor's domain unwind
+    contained: int = 0
 
     # -- load pipeline (recorded at every load) ----------------------------
     loads: int = 0
@@ -93,6 +95,7 @@ class ProgStats:
             "watchdog_fires": self.watchdog_fires,
             "panics": self.panics,
             "oopses": self.oopses,
+            "contained": self.contained,
             "loads": self.loads,
             "cache_hits": self.cache_hits,
             "verify_ns": self.verify_ns,

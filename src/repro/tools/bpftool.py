@@ -350,6 +350,114 @@ def cmd_fault_enable(args) -> int:
     return status
 
 
+def _print_health(supervisor) -> None:
+    """Render the supervisor's per-program health table."""
+    print(f"{'tag':28s} {'state':12s} {'window':>6} {'total':>6} "
+          f"{'retry':>6} {'refuse':>7} {'quar':>5} {'reload':>7} "
+          f"{'contain':>8}")
+    for row in supervisor.statuses():
+        print(f"{row['tag']:28s} {row['state']:12s} "
+              f"{row['faults_in_window']:6d} {row['faults_total']:6d} "
+              f"{row['retries']:6d} {row['refusals']:7d} "
+              f"{row['quarantines']:5d} {row['reloads']:7d} "
+              f"{row['contained']:8d}")
+    print(f"({len(supervisor.statuses())} supervised programs)")
+
+
+def _alive_line(kernel) -> str:
+    """One-line liveness verdict for a supervised kernel."""
+    try:
+        kernel.check_alive()
+    except KernelSafetyViolation as dead:
+        return f"kernel alive: NO ({dead})"
+    contained = kernel.log.contained_count
+    return (f"kernel alive: yes ({contained} oopses contained, "
+            f"taint clear)")
+
+
+def _run_supervised(args):
+    """Boot a supervised kernel, load ``args.file``, run it
+    ``args.repeat`` times with any ``--arm`` failpoints active.
+
+    Returns ``(subsystem, supervisor, prog, exit_status)``; the
+    subsystem is None when setup failed."""
+    bpf = _make_subsystem(args)
+    supervisor = bpf.kernel.enable_recovery()
+    plane = bpf.kernel.faults
+    plane.enable(args.seed)
+    status = _arm_plane_from_args(plane, args.arm)
+    if status:
+        return None, None, None, status
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file)
+    except VerifierError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return None, None, None, 1
+    payload = args.payload.encode("latin-1")
+    status = 0
+    for _ in range(max(args.repeat, 0)):
+        try:
+            if prog_type in (ProgType.XDP, ProgType.SOCKET_FILTER,
+                             ProgType.CGROUP_SKB):
+                bpf.run_on_packet(prog, payload)
+            else:
+                bpf.run_on_current_task(prog)
+        except KernelSafetyViolation as violation:
+            # with the supervisor on, only an escalation gets here
+            print(f"ESCALATED: {violation}", file=sys.stderr)
+            status = 2
+            break
+    return bpf, supervisor, prog, status
+
+
+def cmd_prog_health(args) -> int:
+    """``prog health``: run supervised, print the health table."""
+    bpf, supervisor, _prog, status = _run_supervised(args)
+    if bpf is None:
+        return status
+    _print_health(supervisor)
+    print(_alive_line(bpf.kernel))
+    return status
+
+
+def cmd_prog_quarantine(args) -> int:
+    """``prog quarantine``: operator-initiated quarantine — load the
+    program, park it, and show that runs are refused."""
+    bpf, supervisor, prog, status = _run_supervised(args)
+    if bpf is None:
+        return status
+    tag = f"bpf:{prog.name}"
+    supervisor.quarantine(tag, reason="operator request")
+    refused = bpf.run_on_current_task(prog)
+    print(f"quarantined {tag}; next run returned {refused:#x} "
+          "(-EAGAIN: refused while the breaker is open)")
+    _print_health(supervisor)
+    return status
+
+
+def cmd_recover_status(args) -> int:
+    """``recover status``: run supervised, print supervisor state and
+    the full containment audit trail."""
+    bpf, supervisor, _prog, status = _run_supervised(args)
+    if bpf is None:
+        return status
+    _print_health(supervisor)
+    policy = supervisor.policy
+    print(f"supervisor: containments={supervisor.contained_total} "
+          f"budget={policy.oops_budget} "
+          f"escalations={supervisor.escalations} "
+          f"audit_signature={supervisor.audit_signature()[:16]}…")
+    print(_alive_line(bpf.kernel))
+    print("--- containment audit trail ---")
+    for event in supervisor.audit:
+        print(f"  {event.render()}")
+    print(f"# {len(supervisor.audit)} audit events")
+    return status
+
+
 def cmd_fault_status(args) -> int:
     """``fault status``: run a program with failpoints armed and
     print per-rule and per-site counters."""
@@ -420,6 +528,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N times with stats enabled, print per-prog rows")
     prog_stats.set_defaults(func=cmd_prog_stats)
 
+    faulty = argparse.ArgumentParser(add_help=False,
+                                     parents=[runnable])
+    faulty.add_argument("--arm", action="append",
+                        metavar="SITE=SCHEDULE=ACTION",
+                        help="arm a failpoint rule, e.g. "
+                             "'helper.*=prob:0.5=errno:EINVAL'")
+    faulty.add_argument("--seed", type=int, default=0,
+                        help="fault plane seed (default 0)")
+
+    prog_health = prog_sub.add_parser(
+        "health", parents=[faulty],
+        help="run supervised (recovery on), print per-program health")
+    prog_health.set_defaults(func=cmd_prog_health)
+
+    prog_quarantine = prog_sub.add_parser(
+        "quarantine", parents=[faulty],
+        help="quarantine a loaded program and show runs are refused")
+    prog_quarantine.set_defaults(func=cmd_prog_quarantine)
+
+    recover = sub.add_parser("recover",
+                             help="recovery supervisor state")
+    recover_sub = recover.add_subparsers(dest="action", required=True)
+    recover_status = recover_sub.add_parser(
+        "status", parents=[faulty],
+        help="run supervised, print health + containment audit trail")
+    recover_status.set_defaults(func=cmd_recover_status)
+
     stats = sub.add_parser("stats", help="telemetry snapshots")
     stats_sub = stats.add_subparsers(dest="action", required=True)
     stats_dump = stats_sub.add_parser(
@@ -460,15 +595,6 @@ def build_parser() -> argparse.ArgumentParser:
     fault_list = fault_sub.add_parser(
         "list", help="show the failpoint site registry")
     fault_list.set_defaults(func=cmd_fault_list)
-
-    faulty = argparse.ArgumentParser(add_help=False,
-                                     parents=[runnable])
-    faulty.add_argument("--arm", action="append",
-                        metavar="SITE=SCHEDULE=ACTION",
-                        help="arm a failpoint rule, e.g. "
-                             "'helper.*=prob:0.5=errno:EINVAL'")
-    faulty.add_argument("--seed", type=int, default=0,
-                        help="fault plane seed (default 0)")
 
     fault_enable = fault_sub.add_parser(
         "enable", parents=[faulty],

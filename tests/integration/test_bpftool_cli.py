@@ -203,3 +203,62 @@ class TestStatsCommands:
                      "--kind", "run", "--limit", "2"]) == 0
         events = parse_jsonl(capsys.readouterr().out)
         assert [e.kind for e in events] == ["run", "run"]
+
+
+@pytest.fixture
+def helper_prog_file(tmp_path):
+    """Calls a helper (an injection site), then returns 0."""
+    path = tmp_path / "victim.s"
+    path.write_text("""
+        call helper#5
+        r0 = 0
+        exit
+    """)
+    return str(path)
+
+
+class TestRecoveryCommands:
+    def test_prog_health_clean_run(self, prog_file, capsys):
+        assert main(["prog", "health", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+        assert "kernel alive: yes" in out
+
+    def test_prog_health_quarantines_under_faults(
+            self, helper_prog_file, capsys):
+        assert main(["prog", "health", helper_prog_file,
+                     "--arm", "helper.*=prob:1.0=panic",
+                     "--repeat", "5", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        # every oops was contained: the kernel survives
+        assert "oopses contained, taint clear" in out
+
+    def test_prog_quarantine(self, prog_file, capsys):
+        assert main(["prog", "quarantine", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert f"quarantined bpf:{prog_file}" in out
+        assert "0xfffffffffffffff5" in out       # -EAGAIN refusal
+        assert "refused while the breaker is open" in out
+
+    def test_recover_status_audit_trail(self, helper_prog_file,
+                                        capsys):
+        assert main(["recover", "status", helper_prog_file,
+                     "--arm", "helper.*=prob:1.0=panic",
+                     "--repeat", "4", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "containment audit trail" in out
+        assert "contain" in out
+        assert "quarantine" in out
+        assert "audit_signature=" in out
+        assert "kernel alive: yes" in out
+
+    def test_recover_status_without_faults(self, prog_file, capsys):
+        assert main(["recover", "status", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "containments=0" in out
+        assert "escalations=0" in out
+
+    def test_bad_arm_spec_rejected(self, prog_file, capsys):
+        assert main(["prog", "health", prog_file,
+                     "--arm", "nonsense"]) == 2
