@@ -1,14 +1,17 @@
 """Interpreter throughput benchmarks (``make bench``).
 
-Measures the predecoded fast path against the decode-per-step
-reference interpreter, plus cold-vs-cached program load rates, and
-writes the results to ``BENCH_throughput.json`` at the repo root.
+Measures the predecoded fast path and the compiled tier against the
+decode-per-step reference interpreter, plus cold-vs-cached program
+load rates, and writes the results to ``BENCH_throughput.json`` at
+the repo root.
 
-The regression gate compares the *speedup ratio* (fast / slow on the
-same host, same run) against the committed baseline in
-``benchmarks/throughput_baseline.json`` — absolute insns/sec varies
-with the machine, the ratio does not.  A drop of more than 20% below
-the baseline ratio fails the run.
+The regression gate compares the *speedup ratios* (fast / slow and
+compiled / slow on the same host, same run) against the committed
+baseline in ``benchmarks/throughput_baseline.json`` — absolute
+insns/sec varies with the machine, the ratios do not.  A drop of more
+than 20% below a baseline ratio fails the run; the compiled tier
+additionally carries an absolute floor of 8x (targeting 10x, the
+ISSUE's acceptance bar).
 
 Not collected by the tier-1 suite (pytest ``testpaths`` points at
 ``tests/``); run explicitly via ``make bench`` or
@@ -68,10 +71,10 @@ def mixed_loop_prog():
             .program())
 
 
-def measure_insns_per_sec(build_prog, fast):
+def measure_insns_per_sec(build_prog, engine):
     """Insns/sec for one engine, loading once and running repeatedly."""
     kernel = Kernel()
-    bpf = BpfSubsystem(kernel, fast_path=fast)
+    bpf = BpfSubsystem(kernel, engine=engine)
     prog = bpf.load_program(build_prog(), ProgType.KPROBE, "bench")
     bpf.run_on_current_task(prog)       # warm-up
     executed_before = bpf.vm.insns_executed
@@ -126,25 +129,22 @@ def measure_load_rates(n_progs=40):
 @pytest.fixture(scope="module")
 def results():
     """Run every benchmark once, persist BENCH_throughput.json."""
-    dispatch_slow = measure_insns_per_sec(alu_loop_prog, fast=False)
-    dispatch_fast = measure_insns_per_sec(alu_loop_prog, fast=True)
-    mixed_slow = measure_insns_per_sec(mixed_loop_prog, fast=False)
-    mixed_fast = measure_insns_per_sec(mixed_loop_prog, fast=True)
-    res = {
-        "dispatch": {
-            "slow": dispatch_slow,
-            "fast": dispatch_fast,
-            "speedup": (dispatch_fast["insns_per_sec"]
-                        / dispatch_slow["insns_per_sec"]),
-        },
-        "mixed": {
-            "slow": mixed_slow,
-            "fast": mixed_fast,
-            "speedup": (mixed_fast["insns_per_sec"]
-                        / mixed_slow["insns_per_sec"]),
-        },
-        "load_cache": measure_load_rates(),
-    }
+    res = {}
+    for section, build in (("dispatch", alu_loop_prog),
+                           ("mixed", mixed_loop_prog)):
+        slow = measure_insns_per_sec(build, "interp")
+        fast = measure_insns_per_sec(build, "fast")
+        compiled = measure_insns_per_sec(build, "compiled")
+        res[section] = {
+            "slow": slow,
+            "fast": fast,
+            "compiled": compiled,
+            "speedup": (fast["insns_per_sec"]
+                        / slow["insns_per_sec"]),
+            "compiled_speedup": (compiled["insns_per_sec"]
+                                 / slow["insns_per_sec"]),
+        }
+    res["load_cache"] = measure_load_rates()
     RESULTS_PATH.write_text(json.dumps(res, indent=2) + "\n")
     return res
 
@@ -156,21 +156,37 @@ class TestThroughput:
         assert results["dispatch"]["speedup"] >= 2.0, (
             f"fast path only {results['dispatch']['speedup']:.2f}x")
 
+    def test_compiled_dispatch_speedup(self, results):
+        """The compiled tier must clear 8x over the reference on the
+        pure-dispatch microbenchmark (the ISSUE targets 10x)."""
+        speedup = results["dispatch"]["compiled_speedup"]
+        assert speedup >= 8.0, f"compiled tier only {speedup:.2f}x"
+
+    def test_compiled_beats_fast_path(self, results):
+        """Removing slot-tuple dispatch must actually pay: the
+        compiled tier may never lose to the engine it lowers."""
+        assert results["dispatch"]["compiled_speedup"] > \
+            results["dispatch"]["speedup"]
+
     def test_mixed_workload_not_slower(self, results):
         """Memory-heavy code flushes the batch accounting often; it
         must still never be slower than the reference engine."""
         assert results["mixed"]["speedup"] >= 1.0
+        assert results["mixed"]["compiled_speedup"] >= 1.0
 
     def test_no_regression_vs_baseline(self, results):
-        """Refuse >20% regression of the dispatch speedup ratio
-        against the committed baseline."""
+        """Refuse >20% regression of either speedup ratio against the
+        committed baseline."""
         baseline = json.loads(BASELINE_PATH.read_text())
-        floor = 0.8 * baseline["dispatch_speedup"]
-        speedup = results["dispatch"]["speedup"]
-        assert speedup >= floor, (
-            f"dispatch speedup {speedup:.2f}x regressed below "
-            f"{floor:.2f}x (80% of baseline "
-            f"{baseline['dispatch_speedup']:.2f}x)")
+        for key, measured in (
+                ("dispatch_speedup", results["dispatch"]["speedup"]),
+                ("compiled_dispatch_speedup",
+                 results["dispatch"]["compiled_speedup"])):
+            floor = 0.8 * baseline[key]
+            assert measured >= floor, (
+                f"{key} {measured:.2f}x regressed below "
+                f"{floor:.2f}x (80% of baseline "
+                f"{baseline[key]:.2f}x)")
 
     def test_cached_loads_faster_and_hit_rate_reported(self, results):
         cache = results["load_cache"]

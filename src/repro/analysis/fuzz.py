@@ -218,16 +218,18 @@ def fuzz_campaign(iterations: int = 300, seed: int = 1337,
     return report
 
 # ---------------------------------------------------------------------------
-# differential fuzzing: three engines, one semantics
+# differential fuzzing: four engines, one semantics
 # ---------------------------------------------------------------------------
 
 #: the execution engines that must agree on every program: the
 #: decode-per-step reference interpreter, the predecoded fast path,
-#: and the fast path running JIT-lowered instructions
+#: the fast path running JIT-lowered instructions, and the compiled
+#: tier (exec-generated Python over the predecoded table)
 DIFF_ENGINES = (
     ("interp", {"use_jit": False, "fast_path": False}),
     ("fast", {"use_jit": False, "fast_path": True}),
     ("jit", {"use_jit": True, "fast_path": True}),
+    ("compiled", {"use_jit": False, "engine": "compiled"}),
 )
 
 

@@ -16,21 +16,31 @@ paper's 800-second stall (and far longer) executable in milliseconds
 of host time while preserving the linear runtime-vs-iterations law the
 experiment measures.
 
-Two frame executors share the semantics:
+Three execution engines share the semantics:
 
-* ``_run_frame_slow`` decodes each ``Insn`` as it executes — the
-  original reference path, kept as the differential-testing baseline.
-* ``_run_frame_fast`` drives a :class:`~repro.ebpf.predecode.\
-PredecodedProgram` dispatch table built at load time, and charges
-  virtual time in *batches*: straight-line blocks accumulate a pending
-  instruction count that is flushed to ``kernel.work()`` only at
-  observation points — memory accesses, helper calls, subprogram
+* ``interp`` (``_run_frame_slow``) decodes each ``Insn`` as it
+  executes — the original reference path, kept as the
+  differential-testing baseline.
+* ``fast`` (``_run_frame_fast``) drives a :class:`~repro.ebpf.\
+predecode.PredecodedProgram` dispatch table built at load time, and
+  charges virtual time in *batches*: straight-line blocks accumulate a
+  pending instruction count that is flushed to ``kernel.work()`` only
+  at observation points — memory accesses, helper calls, subprogram
   calls, taken backward edges, and frame exit — so the clock reads
   identically to per-insn accounting everywhere it can be observed.
+* ``compiled`` (:mod:`repro.ebpf.compile`) lowers the dispatch table
+  to generated Python — one straight-line statement run per basic
+  block, registers as locals — ``exec``-compiled once per program and
+  cached content-addressed by the loader.  Helpers, memory, atomics
+  and tail calls still route through this VM, so fault injection and
+  telemetry see the same world.
 
-``DEFAULT_FAST_PATH`` selects the engine for VMs that don't choose
-explicitly; both paths must stay observationally identical (see
-``tests/ebpf/test_fastpath_differential.py``).
+``engine`` on :class:`BpfVm` (or per program via
+``LoadedProgram.engine``) selects a tier explicitly;
+``DEFAULT_ENGINE`` / ``DEFAULT_FAST_PATH`` pick for VMs that don't.
+All engines must stay observationally identical (see
+``tests/ebpf/test_fastpath_differential.py`` and
+``tests/ebpf/test_malformed_differential.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from typing import List, Optional, Sequence
 
 from repro.ebpf import isa
 from repro.ebpf.bugs import BugConfig
+from repro.ebpf.compile import CompiledProgram, compile_program
 from repro.ebpf.helpers.base import HelperCallContext
 from repro.ebpf.isa import Insn, to_s64, to_u64
 from repro.ebpf.predecode import (
@@ -65,6 +76,14 @@ _F32 = 1 << 32
 #: engine used by VMs that don't pick one explicitly; the slow
 #: decode-per-step path stays available as the differential baseline
 DEFAULT_FAST_PATH = True
+
+#: the three execution tiers, slowest to fastest
+ENGINES = ("interp", "fast", "compiled")
+
+#: explicit module-default engine; ``None`` defers to
+#: ``DEFAULT_FAST_PATH`` (kept for compatibility with older tests
+#: and tooling that flip the boolean)
+DEFAULT_ENGINE: Optional[str] = None
 
 
 def _cond_eval(cond: int, d: int, s: int, half: int, full: int) -> bool:
@@ -94,6 +113,35 @@ def _cond_eval(cond: int, d: int, s: int, half: int, full: int) -> bool:
     return sd <= ss
 
 
+def _cond_eval_imm(cond: int, d: int, s_u: int, s_s: int, half: int,
+                   full: int) -> bool:
+    """Immediate-form conditional: the slot carries both the unsigned
+    and the predecoded signed view of the immediate, so only the
+    register operand ever needs its sign re-derived."""
+    if cond == J_EQ:
+        return d == s_u
+    if cond == J_NE:
+        return d != s_u
+    if cond == J_GT:
+        return d > s_u
+    if cond == J_GE:
+        return d >= s_u
+    if cond == J_LT:
+        return d < s_u
+    if cond == J_LE:
+        return d <= s_u
+    if cond == J_SET:
+        return bool(d & s_u)
+    sd = d - full if d & half else d
+    if cond == J_SGT:
+        return sd > s_s
+    if cond == J_SGE:
+        return sd >= s_s
+    if cond == J_SLT:
+        return sd < s_s
+    return sd <= s_s
+
+
 class TailCallRequest(Exception):
     """Raised by ``bpf_tail_call`` to unwind into the dispatch loop."""
 
@@ -108,15 +156,31 @@ class BpfVm:
     def __init__(self, kernel: Kernel, subsystem: "object",
                  bugs: Optional[BugConfig] = None,
                  loop_sample_limit: int = 256,
-                 fast_path: Optional[bool] = None) -> None:
+                 fast_path: Optional[bool] = None,
+                 engine: Optional[str] = None) -> None:
         self.kernel = kernel
         self.subsystem = subsystem
         self.bugs = bugs or BugConfig()
         #: concrete iterations executed before fast-forwarding a loop
         self.loop_sample_limit = loop_sample_limit
-        #: None -> follow the module default at run time
-        self.fast_path = DEFAULT_FAST_PATH if fast_path is None \
-            else fast_path
+        if engine is None:
+            if fast_path is not None:
+                engine = "fast" if fast_path else "interp"
+            elif DEFAULT_ENGINE is not None:
+                engine = DEFAULT_ENGINE
+            else:
+                engine = "fast" if DEFAULT_FAST_PATH else "interp"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        #: default execution tier; a loaded program may override it
+        #: via its own ``engine`` attribute
+        self.engine = engine
+        #: legacy boolean view of the engine (anything predecoded)
+        self.fast_path = engine != "interp"
+        #: fresh compilations performed by this VM (lazy path; the
+        #: loader's compile cache normally attaches one at load)
+        self.compiles = 0
         self.insns_executed = 0
         #: crossings from verified bytecode into unverified kernel C
         self.helper_calls = 0
@@ -127,6 +191,7 @@ class BpfVm:
         self._current_prog: Optional[object] = None
         self._insns: List[Insn] = []
         self._decoded: Optional[PredecodedProgram] = None
+        self._compiled: Optional[CompiledProgram] = None
 
     # -- identity used for refcount/lock/fault attribution -----------------
 
@@ -177,8 +242,14 @@ class BpfVm:
             while True:
                 self._current_prog = current
                 self._insns = current.runnable_insns()
-                self._decoded = self._decoded_for(current) \
-                    if self.fast_path else None
+                engine = getattr(current, "engine", None) or self.engine
+                if engine == "interp":
+                    self._decoded = None
+                    self._compiled = None
+                else:
+                    self._decoded = self._decoded_for(current)
+                    self._compiled = self._compiled_for(current) \
+                        if engine == "compiled" else None
                 try:
                     return self._run_frame(0, [0] * 11, ctx_addr,
                                            depth=0)
@@ -207,11 +278,38 @@ class BpfVm:
             pass  # frozen/slotted prog objects just predecode per run
         return decoded
 
+    def _compiled_for(self, prog: object) -> CompiledProgram:
+        """The program's compiled frame function, compiling lazily if
+        the loader's compile cache didn't attach one."""
+        compiled = getattr(prog, "compiled", None)
+        if compiled is not None and \
+                compiled.n_insns == len(self._insns):
+            return compiled
+        compiled = compile_program(self._decoded)
+        self.compiles += 1
+        try:
+            prog.compiled = compiled
+        except (AttributeError, TypeError):
+            pass  # frozen/slotted prog objects just recompile per run
+        return compiled
+
     # -- frame execution ---------------------------------------------------------
 
     def _run_frame(self, start_idx: int, caller_regs: Sequence[int],
                    ctx_addr: Optional[int], depth: int) -> int:
-        """Execute from ``start_idx`` to EXIT in a fresh frame."""
+        """Execute from ``start_idx`` to EXIT in a fresh frame.
+
+        The compiled tier handles every statically-known frame entry
+        (block leaders: program start, subprogram and callback
+        targets); a dynamic entry it didn't see at compile time — an
+        arbitrary callback index fabricated at run time — falls back
+        to the dispatch-table executor, which accepts any pc."""
+        compiled = self._compiled
+        if compiled is not None:
+            block = compiled.entry_blocks.get(start_idx)
+            if block is not None:
+                return compiled.func(self, caller_regs, ctx_addr,
+                                     depth, block)
         if self._decoded is not None:
             return self._run_frame_fast(start_idx, caller_regs,
                                         ctx_addr, depth)
@@ -304,12 +402,14 @@ class BpfVm:
                 if kind == K_JMP_K or kind == K_JMP_X:
                     d = regs[slot[2]]
                     if kind == K_JMP_X:
-                        s = regs[slot[3]]
+                        taken = _cond_eval(slot[1], d, regs[slot[3]],
+                                           _H64, _F64)
                         target, backward = slot[4], slot[5]
                     else:
-                        s = slot[3]
+                        taken = _cond_eval_imm(slot[1], d, slot[3],
+                                               slot[4], _H64, _F64)
                         target, backward = slot[5], slot[6]
-                    if _cond_eval(slot[1], d, s, _H64, _F64):
+                    if taken:
                         if backward:
                             self.insns_executed += pending
                             work(pending)
@@ -404,12 +504,15 @@ class BpfVm:
                 if kind == K_JMP32_K or kind == K_JMP32_X:
                     d = regs[slot[2]] & U32
                     if kind == K_JMP32_X:
-                        s = regs[slot[3]] & U32
+                        taken = _cond_eval(slot[1], d,
+                                           regs[slot[3]] & U32,
+                                           _H32, _F32)
                         target, backward = slot[4], slot[5]
                     else:
-                        s = slot[3]
+                        taken = _cond_eval_imm(slot[1], d, slot[3],
+                                               slot[4], _H32, _F32)
                         target, backward = slot[5], slot[6]
-                    if _cond_eval(slot[1], d, s, _H32, _F32):
+                    if taken:
                         if backward:
                             self.insns_executed += pending
                             work(pending)
@@ -603,6 +706,11 @@ class BpfVm:
 
     def _ld_imm64_value(self, insn: Insn, insns: List[Insn],
                         idx: int) -> int:
+        if idx + 1 >= len(insns):
+            # same outcome as the predecoded K_BAD slot: a truncated
+            # ld_imm64 (any form) is a runtime decode error, never a
+            # raw IndexError
+            raise BpfRuntimeError(f"incomplete ld_imm64 at {idx}")
         if insn.src == isa.BPF_PSEUDO_MAP_FD:
             return MAP_PTR_BASE + insn.imm
         if insn.src == isa.BPF_PSEUDO_FUNC:

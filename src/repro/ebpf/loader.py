@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.ebpf.bugs import BugConfig
+from repro.ebpf.compile import CompiledProgram, compile_program
 from repro.ebpf.helpers.registry import HelperRegistry, \
     build_default_registry
-from repro.ebpf.interpreter import BpfVm
+from repro.ebpf.interpreter import ENGINES, BpfVm
 from repro.ebpf.isa import Insn
 from repro.ebpf.jit import JitResult, jit_compile
 from repro.ebpf.maps import (
@@ -58,6 +59,11 @@ class LoadedProgram:
     jit: Optional[JitResult] = None
     #: dispatch table over ``runnable_insns()``, attached at load time
     predecoded: Optional[PredecodedProgram] = None
+    #: exec-compiled frame function (compiled tier), attached at load
+    #: time when the subsystem's engine is ``compiled``
+    compiled: Optional[CompiledProgram] = None
+    #: per-program engine override; ``None`` follows the VM default
+    engine: Optional[str] = None
 
     def runnable_insns(self) -> List[Insn]:
         """What the CPU actually executes: JIT output when present."""
@@ -73,12 +79,16 @@ class BpfSubsystem:
                  limits: Optional[VerifierLimits] = None,
                  use_jit: bool = True,
                  use_load_cache: bool = True,
-                 fast_path: Optional[bool] = None) -> None:
+                 fast_path: Optional[bool] = None,
+                 engine: Optional[str] = None) -> None:
         self.kernel = kernel
         self.registry = registry or build_default_registry()
         self.bugs = bugs or BugConfig()
         self.limits = limits or VerifierLimits()
         self.use_jit = use_jit
+        #: compiled-tier artifact reuse across loads of the same bytes
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
         #: §3's signature-at-load-time model: accepted bytecode is
         #: keyed by content hash so identical reloads skip the
         #: verifier entirely
@@ -88,7 +98,8 @@ class BpfSubsystem:
         self._progs: Dict[int, LoadedProgram] = {}
         self._next_fd = 3
         self._next_prog_id = 1
-        self.vm = BpfVm(kernel, self, self.bugs, fast_path=fast_path)
+        self.vm = BpfVm(kernel, self, self.bugs, fast_path=fast_path,
+                        engine=engine)
         #: the [22] sysctl: the kernel community's response to
         #: verifier distrust was to disallow unprivileged loading
         #: entirely — on by default since 2021
@@ -237,12 +248,27 @@ class BpfSubsystem:
             cached = cache.lookup(cache_key)
         jit_ns = 0
         predecode_ns = 0
+        compile_ns = 0
+        compiled: Optional[CompiledProgram] = None
         if cached is not None:
             # §3's signature check: the bytes were accepted before
             # under this exact configuration — replay the artifacts
             stats = cached.stats_copy()
             jit = cached.jit
             decoded = cached.predecoded
+            if self.vm.engine == "compiled":
+                compiled = cached.compiled
+                if compiled is None:
+                    # first compiled-tier load of bytes cached under
+                    # another engine: compile once, backfill the entry
+                    stage_start = time.perf_counter()
+                    compiled = compile_program(decoded)
+                    compile_ns = int(
+                        (time.perf_counter() - stage_start) * 1e9)
+                    cached.compiled = compiled
+                    self.compile_cache_misses += 1
+                else:
+                    self.compile_cache_hits += 1
             self.kernel.log.log(
                 self.kernel.clock.now_ns,
                 f"bpf: verification cache hit for ({name}), "
@@ -266,13 +292,19 @@ class BpfSubsystem:
                                 else list(insns))
             predecode_ns = int((time.perf_counter() - jit_done) * 1e9)
             jit_ns = int((jit_done - stage_start) * 1e9)
+            if self.vm.engine == "compiled":
+                stage_start = time.perf_counter()
+                compiled = compile_program(decoded)
+                compile_ns = int(
+                    (time.perf_counter() - stage_start) * 1e9)
+                self.compile_cache_misses += 1
             if cache is not None and cache_key is not None:
                 cache.insert(cache_key,
-                             CachedLoad(stats, jit, decoded))
+                             CachedLoad(stats, jit, decoded, compiled))
         prog = LoadedProgram(
             prog_id=self._next_prog_id, name=name, prog_type=prog_type,
             insns=list(insns), verifier_stats=stats, jit=jit,
-            predecoded=decoded)
+            predecoded=decoded, compiled=compiled)
         self._next_prog_id += 1
         self._progs[prog.prog_id] = prog
         self.kernel.telemetry.record_load(
@@ -281,6 +313,7 @@ class BpfSubsystem:
             verify_ns=0 if cached is not None
             else int(stats.wall_time_s * 1e9),
             jit_ns=jit_ns, predecode_ns=predecode_ns,
+            compile_ns=compile_ns,
             insns=len(prog.insns),
             insns_processed=0 if cached is not None
             else stats.insns_processed,
@@ -292,6 +325,34 @@ class BpfSubsystem:
             f"type={prog_type.value} insns={len(prog.insns)} "
             f"verified in {stats.insns_processed} steps")
         return prog
+
+    # -- program management -------------------------------------------------------
+
+    def prog_by_id(self, prog_id: int) -> Optional[LoadedProgram]:
+        """Resolve a loaded program id."""
+        return self._progs.get(prog_id)
+
+    def all_progs(self) -> List[LoadedProgram]:
+        """Every loaded program, in load order."""
+        return [self._progs[pid] for pid in sorted(self._progs)]
+
+    def set_engine(self, prog: LoadedProgram,
+                   engine: Optional[str]) -> None:
+        """Pin a program to an execution tier (``None`` clears the
+        override and the program follows the VM default again).
+        Pinning ``compiled`` compiles eagerly so the cost lands at
+        configuration time, not on the next invocation."""
+        if engine is not None and engine not in ENGINES:
+            raise BpfRuntimeError(f"unknown engine {engine!r}; "
+                                  f"expected one of {ENGINES}")
+        prog.engine = engine
+        if engine == "compiled" and prog.compiled is None:
+            decoded = prog.predecoded
+            if decoded is None:
+                decoded = predecode(prog.runnable_insns())
+                prog.predecoded = decoded
+            prog.compiled = compile_program(decoded)
+            self.compile_cache_misses += 1
 
     # -- execution ---------------------------------------------------------------
 

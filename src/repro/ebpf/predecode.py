@@ -160,12 +160,14 @@ def _decode_one(insns: Sequence[Insn], idx: int) -> tuple:
     cls = insn.opcode & isa.CLASS_MASK
 
     if insn.is_ld_imm64:
+        if idx + 1 >= len(insns):
+            # every ld_imm64 form occupies two slots — the pseudo
+            # forms too, even though their second slot carries no bits
+            return (K_BAD, f"incomplete ld_imm64 at {idx}")
         if insn.src == isa.BPF_PSEUDO_MAP_FD:
             value = MAP_PTR_BASE + insn.imm
         elif insn.src == isa.BPF_PSEUDO_FUNC:
             value = FUNC_PTR_BASE + (idx + insn.imm + 1)
-        elif idx + 1 >= len(insns):
-            return (K_BAD, f"incomplete ld_imm64 at {idx}")
         else:
             hi = insns[idx + 1].imm & 0xFFFFFFFF
             value = (hi << 32) | (insn.imm & 0xFFFFFFFF)

@@ -37,11 +37,15 @@ from typing import Iterable, Optional, Tuple
 @dataclasses.dataclass
 class CachedLoad:
     """Artifacts of one accepted load: stats, JIT output, dispatch
-    table."""
+    table, and (when the compiled tier is in use) the exec-compiled
+    frame function.  ``compiled`` is backfilled on first compiled-tier
+    load of an entry cached under another engine — the content hash
+    already keys everything compilation depends on."""
 
     stats: object
     jit: Optional[object]
     predecoded: Optional[object]
+    compiled: Optional[object] = None
 
     def stats_copy(self) -> object:
         """A per-load copy of the verifier stats, marked as a cache

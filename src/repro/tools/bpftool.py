@@ -41,6 +41,7 @@ from repro.ebpf.helpers.registry import build_default_registry
 from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
 from repro.errors import (
+    BpfRuntimeError,
     KernelOops,
     KernelSafetyViolation,
     VerifierError,
@@ -58,7 +59,8 @@ def _make_subsystem(args) -> BpfSubsystem:
     kernel = Kernel()
     bugs = BugConfig.all_patched() if getattr(args, "patched", False) \
         else BugConfig()
-    return BpfSubsystem(kernel, bugs=bugs)
+    return BpfSubsystem(kernel, bugs=bugs,
+                        engine=getattr(args, "engine", None))
 
 
 def _create_maps(bpf: BpfSubsystem, specs: List[str]) -> None:
@@ -200,6 +202,60 @@ def cmd_prog_stats(args) -> int:
               f"{row.watchdog_fires:3d} {row.oopses:4d}")
     print(f"({len(rows)} programs, stats_enabled="
           f"{int(bpf.kernel.telemetry.stats_enabled)})")
+    print(f"engine={bpf.vm.engine} compile_cache: "
+          f"hits={bpf.compile_cache_hits} "
+          f"misses={bpf.compile_cache_misses}")
+    return 0
+
+
+def cmd_prog_engine(args) -> int:
+    """``prog engine``: show or pin a program's execution tier.
+
+    Loads the program (under ``--engine`` if given), optionally pins
+    it to ``--set TIER``, runs it ``--repeat`` times, and prints the
+    effective tier plus compiled-artifact and compile-cache state —
+    the tier is operable, not just benchable.
+    """
+    bpf = _make_subsystem(args)
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    prog_type = ProgType(args.type)
+    try:
+        prog = bpf.load_program(program, prog_type, args.file)
+    except VerifierError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return 1
+    if args.set:
+        try:
+            bpf.set_engine(prog, args.set)
+        except BpfRuntimeError as error:
+            print(f"bad engine: {error}", file=sys.stderr)
+            return 2
+    payload = args.payload.encode("latin-1")
+    for _ in range(max(args.repeat, 0)):
+        try:
+            if prog_type in (ProgType.XDP, ProgType.SOCKET_FILTER,
+                             ProgType.CGROUP_SKB):
+                bpf.run_on_packet(prog, payload)
+            else:
+                bpf.run_on_current_task(prog)
+        except KernelSafetyViolation as violation:
+            print(f"KERNEL COMPROMISED: {violation.category}: "
+                  f"{violation}", file=sys.stderr)
+            break
+    pinned = prog.engine is not None
+    effective = prog.engine or bpf.vm.engine
+    print(f"prog {prog.prog_id} ({prog.name}): engine={effective}"
+          f"{' (pinned)' if pinned else ' (vm default)'}")
+    if prog.compiled is not None:
+        print(f"  compiled: {prog.compiled.n_blocks} blocks, "
+              f"{len(prog.compiled.entry_blocks)} entry points, "
+              f"{prog.compiled.n_insns} insns")
+    print(f"  compile cache: hits={bpf.compile_cache_hits} "
+          f"misses={bpf.compile_cache_misses} "
+          f"lazy_compiles={bpf.vm.compiles}")
+    print(f"  vm default={bpf.vm.engine} "
+          f"insns_executed={bpf.vm.insns_executed}")
     return 0
 
 
@@ -497,6 +553,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="create a map before loading")
     common.add_argument("--patched", action="store_true",
                         help="use a kernel with all modeled bugs fixed")
+    common.add_argument("--engine", default=None,
+                        choices=["interp", "fast", "compiled"],
+                        help="execution tier (default: fast)")
 
     verify = prog_sub.add_parser("verify", parents=[common],
                                  help="run the in-kernel verifier")
@@ -527,6 +586,14 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", parents=[runnable],
         help="run N times with stats enabled, print per-prog rows")
     prog_stats.set_defaults(func=cmd_prog_stats)
+
+    prog_engine = prog_sub.add_parser(
+        "engine", parents=[runnable],
+        help="show or pin a program's execution tier")
+    prog_engine.add_argument("--set", default=None,
+                             choices=["interp", "fast", "compiled"],
+                             help="pin the program to this tier")
+    prog_engine.set_defaults(func=cmd_prog_engine)
 
     faulty = argparse.ArgumentParser(add_help=False,
                                      parents=[runnable])

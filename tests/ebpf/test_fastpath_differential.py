@@ -1,15 +1,16 @@
-"""Differential tests: predecoded fast path vs decode-per-step path.
+"""Differential tests: every execution engine vs the reference path.
 
-The fast engine must be observationally identical to the reference
-interpreter — same return values, same ``insns_executed``, same
-virtual-clock totals, same oops behaviour.  Two layers of evidence:
+The predecoded fast path and the compiled tier must be
+observationally identical to the decode-per-step interpreter — same
+return values, same ``insns_executed``, same virtual-clock totals,
+same oops behaviour.  Two layers of evidence:
 
-* the full eBPF attack corpus, run through both engines, must land on
+* the full eBPF attack corpus, run through every engine, must land on
   the same :class:`Outcome` and the same kernel taint/oops state;
 * a battery of direct programs (ALU mixes, stack traffic, jumps,
   subprogs, ``bpf_loop``, atomics, tail calls, and an unverified
   wild-pointer crasher) must produce bit-identical results and
-  identical accounting on both engines.
+  identical accounting on every engine.
 """
 
 import pytest
@@ -18,6 +19,7 @@ from repro.ebpf import interpreter as interp_mod
 from repro.ebpf import isa
 from repro.ebpf.asm import Asm
 from repro.ebpf.helpers import ids
+from repro.ebpf.interpreter import ENGINES
 from repro.ebpf.isa import R0, R1, R2, R3, R4, R6, R10
 from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
@@ -27,44 +29,45 @@ from repro.kernel import Kernel
 EBPF_CASES = [c for c in build_corpus() if c.framework == "ebpf"]
 
 
-def _observe(case, fast):
+def _observe(case, engine):
     """Run one corpus case on a fresh kernel with the given engine."""
-    old = interp_mod.DEFAULT_FAST_PATH
-    interp_mod.DEFAULT_FAST_PATH = fast
+    old = interp_mod.DEFAULT_ENGINE
+    interp_mod.DEFAULT_ENGINE = engine
     try:
         kernel = Kernel()
         outcome = run_case(case, kernel=kernel)
         oopses = [(o.category, o.source) for o in kernel.log.oopses]
         return outcome, kernel.log.tainted, oopses
     finally:
-        interp_mod.DEFAULT_FAST_PATH = old
+        interp_mod.DEFAULT_ENGINE = old
 
 
 class TestCorpusDifferential:
     @pytest.mark.parametrize(
         "case", EBPF_CASES, ids=[c.case_id for c in EBPF_CASES])
     def test_engines_agree_on_attack_corpus(self, case):
-        slow = _observe(case, fast=False)
-        fast = _observe(case, fast=True)
-        assert fast == slow, (
-            f"{case.case_id}: fast path diverged "
-            f"(slow={slow}, fast={fast})")
+        seen = {engine: _observe(case, engine) for engine in ENGINES}
+        baseline = seen["interp"]
+        for engine, obs in seen.items():
+            assert obs == baseline, (
+                f"{case.case_id}: {engine} diverged "
+                f"(interp={baseline}, {engine}={obs})")
 
 
 def _run_both(build, prog_type=ProgType.KPROBE):
-    """Load and run the same program on both engines; assert identical
+    """Load and run the same program on every engine; assert identical
     return value, instruction count and virtual-clock total, then
     return the (shared) observation."""
-    seen = []
-    for fast in (False, True):
+    seen = {}
+    for engine in ENGINES:
         kernel = Kernel()
-        bpf = BpfSubsystem(kernel, fast_path=fast)
+        bpf = BpfSubsystem(kernel, engine=engine)
         prog = bpf.load_program(build(bpf), prog_type, "diff")
         ret = bpf.run_on_current_task(prog)
-        seen.append((ret, bpf.vm.insns_executed, kernel.clock.now_ns))
-    assert seen[0] == seen[1], (
-        f"engines diverged: slow={seen[0]}, fast={seen[1]}")
-    return seen[0]
+        seen[engine] = (ret, bpf.vm.insns_executed,
+                        kernel.clock.now_ns)
+    assert len(set(seen.values())) == 1, f"engines diverged: {seen}"
+    return seen["interp"]
 
 
 class TestDirectDifferential:
@@ -197,9 +200,9 @@ class TestDirectDifferential:
 
     def test_tail_call(self):
         seen = []
-        for fast in (False, True):
+        for engine in ENGINES:
             kernel = Kernel()
-            bpf = BpfSubsystem(kernel, fast_path=fast)
+            bpf = BpfSubsystem(kernel, engine=engine)
             pa = bpf.create_map("prog_array", max_entries=4)
             target = bpf.load_program(
                 Asm().mov64_imm(R0, 777).exit_().program(),
@@ -218,11 +221,11 @@ class TestDirectDifferential:
             ret = bpf.run_on_current_task(caller)
             seen.append((ret, bpf.vm.insns_executed,
                          kernel.clock.now_ns))
-        assert seen[0] == seen[1]
+        assert len(set(seen)) == 1, seen
         assert seen[0][0] == 777
 
     def test_unverified_wild_pointer_oopses_identically(self):
-        """Both engines must fault the same way on a raw store through
+        """Every engine must fault the same way on a raw store through
         a garbage pointer (no verifier in the loop)."""
         from repro.ebpf.interpreter import BpfVm
         from repro.ebpf.loader import LoadedProgram
@@ -230,10 +233,10 @@ class TestDirectDifferential:
         from repro.errors import KernelOops
 
         seen = []
-        for fast in (False, True):
+        for engine in ENGINES:
             kernel = Kernel()
             bpf = BpfSubsystem(kernel)
-            vm = BpfVm(kernel, bpf, fast_path=fast)
+            vm = BpfVm(kernel, bpf, engine=engine)
             insns = (Asm()
                      .ld_imm64(R2, 0xDEAD_BEEF_0000)
                      .st_imm(8, R2, 0, 1)
@@ -247,12 +250,12 @@ class TestDirectDifferential:
             with pytest.raises(KernelOops):
                 vm.run(prog, regs.base)
             seen.append((vm.insns_executed, kernel.log.tainted,
-                         [(o.category, o.source)
-                          for o in kernel.log.oopses]))
-        assert seen[0] == seen[1]
+                         tuple((o.category, o.source)
+                               for o in kernel.log.oopses)))
+        assert len(set(seen)) == 1, seen
 
     def test_decode_error_matches(self):
-        """A bogus opcode raises the same message on both engines."""
+        """A bogus opcode raises the same message on every engine."""
         from repro.ebpf.interpreter import BpfVm
         from repro.ebpf.isa import Insn
         from repro.ebpf.loader import LoadedProgram
@@ -260,10 +263,10 @@ class TestDirectDifferential:
         from repro.errors import BpfRuntimeError
 
         msgs = []
-        for fast in (False, True):
+        for engine in ENGINES:
             kernel = Kernel()
             bpf = BpfSubsystem(kernel)
-            vm = BpfVm(kernel, bpf, fast_path=fast)
+            vm = BpfVm(kernel, bpf, engine=engine)
             insns = [Insn(0xFF, 0, 0, 0, 0),
                      Insn(isa.BPF_JMP | isa.BPF_EXIT)]
             prog = LoadedProgram(1, "junk", ProgType.KPROBE, insns,
@@ -273,20 +276,20 @@ class TestDirectDifferential:
             with pytest.raises(BpfRuntimeError) as err:
                 vm.run(prog, regs.base)
             msgs.append(str(err.value))
-        assert msgs[0] == msgs[1]
+        assert len(set(msgs)) == 1, msgs
 
 
 class TestStatsDifferential:
-    """With stats enabled, both engines must report identical
+    """With stats enabled, every engine must report identical
     per-program telemetry — run_cnt, run_time_ns, insns and helper
     counts are part of the observational contract."""
 
     def _stats_both(self, build, runs=3):
         seen = []
-        for fast in (False, True):
+        for engine in ENGINES:
             kernel = Kernel()
             kernel.telemetry.enable()
-            bpf = BpfSubsystem(kernel, fast_path=fast)
+            bpf = BpfSubsystem(kernel, engine=engine)
             prog = bpf.load_program(build(bpf), ProgType.KPROBE,
                                     "diff")
             for _ in range(runs):
@@ -295,8 +298,8 @@ class TestStatsDifferential:
             seen.append((row.run_cnt, row.run_time_ns, row.insns,
                          row.helper_calls,
                          dict(row.helper_counts)))
-        assert seen[0] == seen[1], (
-            f"stats diverged: slow={seen[0]}, fast={seen[1]}")
+        assert seen[0] == seen[1] == seen[2], (
+            f"stats diverged across engines: {seen}")
         return seen[0]
 
     def test_alu_loop_stats_identical(self):
@@ -330,9 +333,9 @@ class TestStatsDifferential:
                           "bpf_get_current_pid_tgid": 3}
 
     def test_stats_off_engines_record_nothing(self):
-        for fast in (False, True):
+        for engine in ENGINES:
             kernel = Kernel()
-            bpf = BpfSubsystem(kernel, fast_path=fast)
+            bpf = BpfSubsystem(kernel, engine=engine)
             prog = bpf.load_program(
                 Asm().mov64_imm(R0, 0).exit_().program(),
                 ProgType.KPROBE, "cold")
