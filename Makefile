@@ -2,7 +2,7 @@
 # Beyond `make test`: `make coverage` for a line-coverage gate and
 # `make chaos` for the fault-injection corpus replay.
 
-.PHONY: test bench bench-all coverage chaos recover
+.PHONY: test bench bench-net bench-all coverage chaos recover
 
 # Tier-1 suite (must stay green).
 test:
@@ -42,6 +42,15 @@ recover:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_throughput.py \
 		benchmarks/test_bench_obs_overhead.py -q
+
+# Data-plane packet rates: >= 1M seeded packets through the batched
+# XDP pipeline, two runs per tier.  Writes BENCH_dataplane.json and
+# gates on compiled-strictly-fastest, per-tier bit-identical
+# signatures, and pps ratios at 80% of
+# benchmarks/dataplane_baseline.json.  REPRO_BENCH_SMOKE=1 shrinks
+# the legs for CI.
+bench-net:
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_dataplane.py -q
 
 # Every paper figure/table benchmark.
 bench-all:

@@ -59,6 +59,31 @@ def bpf_sk_lookup_udp(ctx: HelperCallContext) -> int:
     return bpf_sk_lookup_tcp(ctx)
 
 
+#: XDP verdicts the redirect helper can produce
+XDP_ABORTED = 0
+XDP_REDIRECT = 4
+
+
+def bpf_redirect_map(ctx: HelperCallContext) -> int:
+    """``long bpf_redirect_map(map, key, flags)`` — XDP redirect.
+
+    Looks the slot ``key`` up in a devmap and, on a hit, stashes the
+    target ifindex on the VM (consumed by the data plane *after* the
+    program returns, mirroring ``xdp_do_redirect``) and returns
+    ``XDP_REDIRECT``.  An empty slot or a non-devmap argument returns
+    ``XDP_ABORTED``, matching the kernel's "flags as the fallback
+    verdict" contract with flags=0.
+    """
+    bpf_map = ctx.vm.resolve_map_ptr(ctx.args[0])
+    if bpf_map is None or bpf_map.map_type != "devmap":
+        return XDP_ABORTED
+    ifindex = bpf_map.target(ctx.args[1] & 0xFFFFFFFF)
+    if ifindex is None:
+        return XDP_ABORTED
+    ctx.vm.pending_redirect = ifindex
+    return XDP_REDIRECT
+
+
 def bpf_sk_release(ctx: HelperCallContext) -> int:
     """``long bpf_sk_release(sock)`` — drop the acquired reference."""
     sock_addr = ctx.args[0]

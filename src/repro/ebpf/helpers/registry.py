@@ -177,6 +177,13 @@ def _implemented_specs() -> List[HelperSpec]:
             impls_core.bpf_get_current_task, "v4.9", 0, "wrap",
             notes="returns a raw kernel address as a scalar"),
         HelperSpec(
+            ids.BPF_FUNC_redirect_map, "bpf_redirect_map",
+            FuncProto([A.CONST_MAP_PTR, A.ANYTHING, A.ANYTHING],
+                      R.INTEGER, forbidden_under_spinlock=False),
+            impls_net.bpf_redirect_map, "v4.14", 35, "simplify",
+            notes="XDP devmap redirect; verdict consumed by the data "
+                  "plane after program exit"),
+        HelperSpec(
             ids.BPF_FUNC_sk_lookup_tcp, "bpf_sk_lookup_tcp",
             FuncProto([A.PTR_TO_CTX, A.PTR_TO_MEM, A.CONST_SIZE,
                        A.ANYTHING, A.ANYTHING],

@@ -45,7 +45,8 @@ All engines must stay observationally identical (see
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.ebpf import isa
 from repro.ebpf.bugs import BugConfig
@@ -192,6 +193,10 @@ class BpfVm:
         self._insns: List[Insn] = []
         self._decoded: Optional[PredecodedProgram] = None
         self._compiled: Optional[CompiledProgram] = None
+        #: redirect target stashed by ``bpf_redirect_map`` for the
+        #: data plane to consume after the current invocation returns
+        #: XDP_REDIRECT (``None`` when no redirect is pending)
+        self.pending_redirect: Optional[int] = None
 
     # -- identity used for refcount/lock/fault attribution -----------------
 
@@ -234,32 +239,114 @@ class BpfVm:
         """The uninstrumented execution environment (see :meth:`run`)."""
         cpu = self.kernel.current_cpu
         rcu = self.kernel.rcu
-        tail_calls = 0
-        current = prog
         rcu.read_lock(holder=f"bpf:{prog.name}")
         cpu.preempt_disable()
         try:
-            while True:
-                self._current_prog = current
-                self._insns = current.runnable_insns()
-                engine = getattr(current, "engine", None) or self.engine
-                if engine == "interp":
-                    self._decoded = None
-                    self._compiled = None
-                else:
-                    self._decoded = self._decoded_for(current)
-                    self._compiled = self._compiled_for(current) \
-                        if engine == "compiled" else None
+            self._activate(prog)
+            try:
+                return self._run_frame(0, [0] * 11, ctx_addr, depth=0)
+            except TailCallRequest as req:
+                return self._finish_tail_calls(req, ctx_addr)
+        finally:
+            self._current_prog = None
+            cpu.preempt_enable()
+            rcu.read_unlock()
+
+    def _activate(self, prog: object) -> None:
+        """Bind the VM's frame-execution state to ``prog``: its
+        runnable instructions plus the dispatch table / compiled frame
+        function its effective engine needs."""
+        self._current_prog = prog
+        self._insns = prog.runnable_insns()
+        engine = getattr(prog, "engine", None) or self.engine
+        if engine == "interp":
+            self._decoded = None
+            self._compiled = None
+        else:
+            self._decoded = self._decoded_for(prog)
+            self._compiled = self._compiled_for(prog) \
+                if engine == "compiled" else None
+
+    def _finish_tail_calls(self, req: TailCallRequest,
+                           ctx_addr: int) -> int:
+        """Service a tail-call chain, honouring the chain limit."""
+        tail_calls = 0
+        while True:
+            tail_calls += 1
+            if tail_calls > self.subsystem.limits.max_tail_calls:
+                raise BpfRuntimeError(
+                    "tail call chain exceeded "
+                    f"{self.subsystem.limits.max_tail_calls}")
+            self._activate(req.prog)
+            try:
+                return self._run_frame(0, [0] * 11, ctx_addr, depth=0)
+            except TailCallRequest as next_req:
+                req = next_req
+
+    def take_redirect(self) -> Optional[int]:
+        """Consume the redirect target stashed by the most recent
+        ``bpf_redirect_map`` call (one-shot; ``None`` when the last
+        invocation never asked for a redirect)."""
+        target = self.pending_redirect
+        if target is not None:
+            self.pending_redirect = None
+        return target
+
+    @contextmanager
+    def batch_runner(self, prog: object) -> Iterator[Callable[[int], int]]:
+        """One RCU/preempt critical section around many invocations.
+
+        The XDP data plane processes packets in NAPI-style bursts:
+        the driver enters the execution environment once, then runs
+        the attached program on every buffer of the batch, so the
+        per-packet cost is one frame execution and nothing else.
+        This context manager models exactly that — it takes the RCU
+        read lock, disables preemption and resolves the program's
+        engine state *once*, then yields a ``run_one(ctx_addr) ->
+        verdict`` callable for the hot loop.  Tail calls are honoured
+        per invocation (the chain limit applies per packet, as in
+        :meth:`run`), per-run stats are recorded while
+        ``telemetry.stats_enabled`` is on, and the critical section
+        is released even when a fault unwinds the batch.
+        """
+        kernel = self.kernel
+        cpu = kernel.current_cpu
+        rcu = kernel.rcu
+        rcu.read_lock(holder=f"bpf:{prog.name}")
+        cpu.preempt_disable()
+        self._activate(prog)
+        telemetry = kernel.telemetry
+        clock = kernel.clock
+
+        def run_frame(ctx_addr: int) -> int:
+            """One invocation inside the held critical section."""
+            try:
+                return self._run_frame(0, [0] * 11, ctx_addr, depth=0)
+            except TailCallRequest as req:
                 try:
-                    return self._run_frame(0, [0] * 11, ctx_addr,
-                                           depth=0)
-                except TailCallRequest as req:
-                    tail_calls += 1
-                    if tail_calls > self.subsystem.limits.max_tail_calls:
-                        raise BpfRuntimeError(
-                            "tail call chain exceeded "
-                            f"{self.subsystem.limits.max_tail_calls}")
-                    current = req.prog
+                    return self._finish_tail_calls(req, ctx_addr)
+                finally:
+                    # the next packet starts at the root program
+                    self._activate(prog)
+
+        def run_one(ctx_addr: int) -> int:
+            """One packet through the attached program (stats-aware)."""
+            if not telemetry.stats_enabled:
+                return run_frame(ctx_addr)
+            start_ns = clock.now_ns
+            start_insns = self.insns_executed
+            start_helpers = self.helper_calls
+            try:
+                return run_frame(ctx_addr)
+            finally:
+                telemetry.record_run(
+                    "ebpf", prog.name,
+                    run_time_ns=clock.now_ns - start_ns,
+                    insns=self.insns_executed - start_insns,
+                    helper_calls=self.helper_calls - start_helpers)
+
+        try:
+            yield run_one
         finally:
             self._current_prog = None
             cpu.preempt_enable()

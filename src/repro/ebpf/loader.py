@@ -25,6 +25,7 @@ from repro.ebpf.jit import JitResult, jit_compile
 from repro.ebpf.maps import (
     ArrayMap,
     BpfMap,
+    DevMap,
     HashMap,
     PercpuArrayMap,
     PerfEventArrayMap,
@@ -132,6 +133,8 @@ class BpfSubsystem:
             bpf_map = TaskStorageMap(self.kernel, map_fd, value_size)
         elif map_type == "prog_array":
             bpf_map = ProgArrayMap(self.kernel, map_fd, max_entries)
+        elif map_type == "devmap":
+            bpf_map = DevMap(self.kernel, map_fd, max_entries)
         else:
             raise BpfRuntimeError(f"unknown map type {map_type!r}")
         if with_spin_lock:
@@ -392,6 +395,16 @@ class BpfSubsystem:
             "xdp", f"bpf:{prog.name}",
             lambda skb: self._dispatch(prog, skb.address),
             priority=priority)
+
+    def attach_nic(self, prog: LoadedProgram, plane: "object",
+                   nic: "object") -> "object":
+        """Attach an XDP program to a simulated NIC through the data
+        plane; returns the live :class:`~repro.net.pipeline.XdpHook`.
+        Rejects non-XDP program types."""
+        # imported here: net sits above ebpf in the layering
+        from repro.net.pipeline import XdpHook
+
+        return XdpHook(self, plane, prog, nic)
 
     def attach_trace(self, prog: LoadedProgram,
                      priority: int = 0) -> None:

@@ -22,7 +22,7 @@ schedules can model allocator pressure separately from op failures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BpfRuntimeError, KernelOops
 from repro.ebpf.bugs import BugConfig
@@ -35,6 +35,7 @@ BPF_MAP_TYPE_HASH = "hash"
 BPF_MAP_TYPE_RINGBUF = "ringbuf"
 BPF_MAP_TYPE_TASK_STORAGE = "task_storage"
 BPF_MAP_TYPE_PROG_ARRAY = "prog_array"
+BPF_MAP_TYPE_DEVMAP = "devmap"
 
 # errno numbers (ops return the negative value, kernel-style)
 ENOENT = 2
@@ -368,6 +369,29 @@ class RingBufMap(BpfMap):
         self._used += len(data)
         return 0
 
+    def output_batch(self, records: Sequence[bytes]) -> Tuple[int, int]:
+        """Publish a burst of records; returns ``(accepted, refused)``.
+
+        This is the data plane's per-poll flush: every per-CPU RX
+        queue delivers its batch of PASS packets in one call.  The
+        ENOSPC-exactness contract is the point of the method: *every*
+        record of the batch is attempted, so a ring that fills (or a
+        ``map.alloc`` fault that fires) mid-batch still counts each
+        refused record individually in ``drops`` / ``dropped_bytes``
+        and the kernel's telemetry — a caller that stopped at the
+        first ``-ENOSPC`` would undercount drops by however much of
+        the batch it never tried, and the drop counters would no
+        longer reconcile against the producer's attempt counts.
+        """
+        accepted = 0
+        refused = 0
+        for record in records:
+            if self.output(record) == 0:
+                accepted += 1
+            else:
+                refused += 1
+        return accepted, refused
+
     def reserve(self, size: int) -> Optional[int]:
         """Reserve a record, returning its kernel address (None on
         bad size or -ENOSPC, the latter counted as a drop)."""
@@ -609,3 +633,77 @@ class ProgArrayMap(BpfMap):
             return -EINVAL
         index = int.from_bytes(key, "little")
         return 0 if self._progs.pop(index, None) is not None else -ENOENT
+
+
+class DevMap(BpfMap):
+    """Device map (``BPF_MAP_TYPE_DEVMAP``): u32 index -> ifindex.
+
+    The redirect table of the XDP data plane: userspace populates it
+    with NIC ifindexes and programs pick a slot via
+    ``bpf_redirect_map``.  Entries live in real kernel storage (an
+    array of u32 slots; 0 means empty) so programs could in principle
+    read them — but the interesting consumer is the data plane, which
+    resolves the ifindex stashed by the redirect helper against its
+    device registry *after* the program returns, exactly like
+    ``xdp_do_redirect`` runs after the program's verdict."""
+
+    map_type = BPF_MAP_TYPE_DEVMAP
+
+    def __init__(self, kernel: Kernel, map_fd: int,
+                 max_entries: int) -> None:
+        super().__init__(kernel, map_fd, 4, 4, max_entries)
+        self.storage = kernel.mem.kmalloc(
+            4 * max_entries, type_name=f"devmap{map_fd}",
+            owner="bpf-map")
+
+    def set_target(self, index: int, ifindex: int) -> None:
+        """Userspace-style install of a redirect target."""
+        errno = self.update(index.to_bytes(4, "little"),
+                            ifindex.to_bytes(4, "little"))
+        if errno:
+            raise BpfRuntimeError(
+                f"devmap{self.map_fd}: set_target({index}) "
+                f"failed with {errno}")
+
+    def target(self, index: int) -> Optional[int]:
+        """The ifindex at ``index`` (None when empty / out of range)."""
+        if not 0 <= index < self.max_entries:
+            return None
+        raw = self.kernel.mem.read(self.storage.base + 4 * index, 4)
+        ifindex = int.from_bytes(raw, "little")
+        return ifindex if ifindex else None
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr`."""
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return None
+        return self.storage.base + 4 * index
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update`."""
+        if not self._key_ok(key) or len(value) != self.value_size:
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return -E2BIG
+        self.kernel.mem.write(self.storage.base + 4 * index, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete`."""
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.delete")
+        if errno:
+            return errno
+        index = int.from_bytes(key, "little")
+        if index >= self.max_entries:
+            return -ENOENT
+        self.kernel.mem.write(self.storage.base + 4 * index, b"\x00" * 4)
+        return 0

@@ -72,6 +72,16 @@ KNOWN_SITES: Dict[str, str] = {
     "load.signature": (
         "SafeLang signature check; any fault makes verification "
         "fail"),
+    "net.nic.rx": (
+        "NIC packet ingress; errno drops the packet on the wire "
+        "(counted rx_drops reason=nic_drop) before any queue sees it"),
+    "net.queue.enqueue": (
+        "per-CPU RX queue admission; errno drops the packet as a "
+        "queue overflow even when the ring has room"),
+    "net.redirect": (
+        "devmap redirect resolution after an XDP_REDIRECT verdict; "
+        "errno makes the target NIC unreachable "
+        "(rx_drops reason=redirect_gone)"),
 }
 
 

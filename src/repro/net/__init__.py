@@ -1,0 +1,31 @@
+"""The simulated network data plane.
+
+An XDP-style packet path for the reproduction: a
+:class:`~repro.net.nic.SimulatedNic` steers packets into per-CPU RX
+queues, the :class:`~repro.net.pipeline.DataPlane` polls those queues
+NAPI-style and runs the attached XDP program over each batch on the
+VM's batched hot path, honoring DROP/PASS/TX/REDIRECT verdicts, and
+the :class:`~repro.net.loadgen.LoadGen` produces deterministic seeded
+traffic on the virtual clock.  This is the ROADMAP's "high-traffic
+data plane": the workload class (per "The eBPF Runtime in the Linux
+Kernel") that makes verifier friction worth measuring.
+"""
+
+from repro.net.loadgen import LoadGen, PROFILES
+from repro.net.nic import RxQueue, SimulatedNic, XdpFrame
+from repro.net.pipeline import (
+    DataPlane,
+    VERDICT_NAMES,
+    XDP_ABORTED,
+    XDP_DROP,
+    XDP_PASS,
+    XDP_REDIRECT,
+    XDP_TX,
+    XdpHook,
+)
+
+__all__ = [
+    "DataPlane", "LoadGen", "PROFILES", "RxQueue", "SimulatedNic",
+    "VERDICT_NAMES", "XDP_ABORTED", "XDP_DROP", "XDP_PASS",
+    "XDP_REDIRECT", "XDP_TX", "XdpFrame", "XdpHook",
+]

@@ -1,0 +1,131 @@
+"""Canned XDP programs for the data plane.
+
+Every builder returns verifier-clean bytecode (explicit packet bounds
+checks, branch-refined return values) against the canonical packet
+format — ``dst_port (u16 le), src_id (u8), payload`` — so the example,
+the differential tests, the chaos schedules and the bench all exercise
+the same programs instead of growing private copies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ebpf.asm import Asm
+from repro.ebpf.helpers import ids
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R5, R6, R10, Insn
+
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4
+
+#: the firewall examples' blocked port (telnet)
+BLOCKED_PORT = 23
+
+
+def pass_all_prog() -> List[Insn]:
+    """Unconditional ``XDP_PASS`` — the floor any bench compares
+    against (pure pipeline overhead, zero policy)."""
+    return Asm().mov64_imm(R0, XDP_PASS).exit_().program()
+
+
+def port_filter_prog(blocked_port: int = BLOCKED_PORT) -> List[Insn]:
+    """Drop packets to ``blocked_port``; unparseable (truncated)
+    packets are dropped too, which is what makes the adversarial
+    profile visible in the verdict counters."""
+    return (Asm()
+            .ldx(8, R2, R1, 8)            # data
+            .ldx(8, R3, R1, 16)           # data_end
+            .mov64_reg(R4, R2).alu64_imm("add", R4, 3)
+            .jmp_reg("jgt", R4, R3, "drop")
+            .ldx(2, R5, R2, 0)            # dst_port
+            .jmp_imm("jeq", R5, blocked_port, "drop")
+            .mov64_imm(R0, XDP_PASS)
+            .exit_()
+            .label("drop")
+            .mov64_imm(R0, XDP_DROP)
+            .exit_()
+            .program())
+
+
+def firewall_prog(stats_fd: int,
+                  blocked_port: int = BLOCKED_PORT) -> List[Insn]:
+    """The examples' full policy: drop the blocked port, rate-limit
+    source 3 (every 4th packet dropped) via a counter in the array map
+    ``stats_fd`` slot 2.  Truncated packets pass, preserving the
+    original example's semantics."""
+    return (Asm()
+            # bounds-check 3 bytes of header before touching them
+            .ldx(8, R2, R1, 8)            # data
+            .ldx(8, R3, R1, 16)           # data_end
+            .mov64_reg(R4, R2).alu64_imm("add", R4, 3)
+            .jmp_reg("jgt", R4, R3, "pass")
+            .ldx(2, R5, R2, 0)            # dst_port
+            .jmp_imm("jeq", R5, blocked_port, "drop")
+            # rate limit src 3: count its packets, drop every 4th
+            .ldx(1, R6, R2, 2)            # src_id
+            .jmp_imm("jne", R6, 3, "pass")
+            .st_imm(4, R10, -4, 2)        # stats slot 2: src-3 counter
+            .mov64_reg(R2, R10).alu64_imm("add", R2, -4)
+            .ld_map_fd(R1, stats_fd)
+            .call(ids.BPF_FUNC_map_lookup_elem)
+            .jmp_imm("jeq", R0, 0, "pass")
+            .ldx(8, R1, R0, 0)
+            .alu64_imm("add", R1, 1)
+            .stx(8, R0, 0, R1)
+            .alu64_imm("and", R1, 3)
+            .jmp_imm("jeq", R1, 0, "drop")
+            .label("pass")
+            .mov64_imm(R0, XDP_PASS)
+            .exit_()
+            .label("drop")
+            .mov64_imm(R0, XDP_DROP)
+            .exit_()
+            .program())
+
+
+def redirect_by_source_prog(devmap_fd: int,
+                            slot_mask: int = 3) -> List[Insn]:
+    """Spray packets across redirect targets by source id:
+    ``slot = src_id & slot_mask``, then ``bpf_redirect_map``.  The
+    helper's return value is branch-refined (``jeq r0, 4``) so the
+    verifier can prove the exit value sits inside XDP's [0, 4] range;
+    anything but a successful redirect becomes ``XDP_DROP``."""
+    return (Asm()
+            .ldx(8, R2, R1, 8)            # data
+            .ldx(8, R3, R1, 16)           # data_end
+            .mov64_reg(R4, R2).alu64_imm("add", R4, 3)
+            .jmp_reg("jgt", R4, R3, "drop")
+            .ldx(1, R2, R2, 2)            # src_id -> slot key
+            .alu64_imm("and", R2, slot_mask)
+            .ld_map_fd(R1, devmap_fd)
+            .mov64_imm(R3, 0)             # flags
+            .call(ids.BPF_FUNC_redirect_map)
+            .jmp_imm("jeq", R0, XDP_REDIRECT, "out")
+            .label("drop")
+            .mov64_imm(R0, XDP_DROP)
+            .label("out")
+            .exit_()
+            .program())
+
+
+def rewriter_prog() -> List[Insn]:
+    """An XDP reflector: flip the source byte and bounce the packet
+    back out the receiving NIC (``XDP_TX``) — exercises stores through
+    the packet pointer on the hot path."""
+    return (Asm()
+            .ldx(8, R2, R1, 8)            # data
+            .ldx(8, R3, R1, 16)           # data_end
+            .mov64_reg(R4, R2).alu64_imm("add", R4, 3)
+            .jmp_reg("jgt", R4, R3, "drop")
+            .ldx(1, R5, R2, 2)            # src_id
+            .alu64_imm("xor", R5, 0xFF)
+            .stx(1, R2, 2, R5)            # rewrite in place
+            .mov64_imm(R0, XDP_TX)
+            .exit_()
+            .label("drop")
+            .mov64_imm(R0, XDP_DROP)
+            .exit_()
+            .program())

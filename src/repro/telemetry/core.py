@@ -25,6 +25,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.telemetry.metrics import MetricsRegistry
+
+#: per-packet latency bucket bounds (virtual ns): fine sub-µs steps
+#: where XDP verdicts land, stretching to ms for queue-wait tails
+NET_LATENCY_BUCKETS = (
+    250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+    250000, 500000, 1000000, 4000000, 16000000)
 from repro.telemetry.stats import ProgStats, ProgStatsTable
 from repro.telemetry.trace import TraceEvent, TraceRing
 
@@ -108,6 +114,20 @@ class Telemetry:
             "repro_faults_injected_total",
             "Faults delivered by the injection plane, by site and "
             "action", ("site", "action"))
+        # data plane (always on: verdicts and drops are the product)
+        self._net_verdicts = reg.counter(
+            "repro_net_verdicts_total",
+            "XDP program verdicts per NIC (aborted / drop / pass / "
+            "tx / redirect)", ("nic", "verdict"))
+        self._net_rx_drops = reg.counter(
+            "repro_net_rx_drops_total",
+            "Packets lost outside a program verdict, by reason "
+            "(nic_drop / oversize / queue_overflow / redirect_gone)",
+            ("nic", "reason"))
+        self._net_latency = reg.histogram(
+            "repro_net_latency_ns",
+            "Per-packet virtual latency from NIC receive to verdict",
+            ("nic",), buckets=NET_LATENCY_BUCKETS)
         # recovery accounting (always on; idle when no supervisor)
         self._recovery_events = reg.counter(
             "repro_recovery_events_total",
@@ -251,6 +271,24 @@ class Telemetry:
             self._now(), "ringbuf_drop", "", "",
             {"map_fd": map_fd, "requested": requested, "cpu": cpu}))
 
+    # -- data plane (always on) ----------------------------------------------------
+
+    def net_verdict_counter(self, nic: str, verdict: str):
+        """The verdict counter for one (nic, verdict) — hot-path
+        callers cache the returned instrument across a batch."""
+        return self._net_verdicts.labels(nic, verdict)
+
+    def net_latency_histogram(self, nic: str):
+        """The latency histogram for one NIC — likewise cached by the
+        pipeline, observed once per packet."""
+        return self._net_latency.labels(nic)
+
+    def record_net_rx_drop(self, nic: str, reason: str,
+                           count: int = 1) -> None:
+        """Count packets lost outside a program verdict (NIC-level
+        drop, RX queue overflow, vanished redirect target)."""
+        self._net_rx_drops.labels(nic, reason).inc(count)
+
     def record_recovery_event(
             self, kind: str, tag: str,
             detail: Optional[Dict[str, object]] = None) -> None:
@@ -312,6 +350,9 @@ class Telemetry:
                     samples.append({
                         "labels": labels, "count": inst.count,
                         "sum": inst.total,
+                        "p50": inst.quantile(0.5),
+                        "p99": inst.quantile(0.99),
+                        "p999": inst.quantile(0.999),
                         "buckets": [[bound, cum] for bound, cum
                                     in inst.cumulative()]})
                 else:

@@ -11,6 +11,9 @@ Usage (each invocation boots a fresh simulated kernel):
     python -m repro.tools.bpftool trace log prog.s --repeat 3
     python -m repro.tools.bpftool helper list --class retire
     python -m repro.tools.bpftool bugs list
+    python -m repro.tools.bpftool net profiles
+    python -m repro.tools.bpftool net run prog.s --profile bursty \
+        --count 10000 --seed 7 --engine compiled --map array:4:8:4
     python -m repro.tools.bpftool fault list
     python -m repro.tools.bpftool fault enable prog.s \
         --arm 'helper.*=prob:0.5=errno:EINVAL' --seed 7 --repeat 10
@@ -514,6 +517,77 @@ def cmd_recover_status(args) -> int:
     return status
 
 
+_PROFILE_NOTES = {
+    "uniform": "steady inter-packet gaps, ports drawn evenly "
+               "(12.5% to the blocked port)",
+    "bursty": "line-rate bursts of 8-64 packets separated by long "
+              "idle gaps",
+    "adversarial": "truncated headers, oversize frames and a heavy "
+                   "blocked-port mix",
+    "heavy_hitter": "70% of traffic from one source — skews one RX "
+                    "queue and its delivery ring",
+}
+
+
+def cmd_net_profiles(args) -> int:
+    """``net profiles``: list the load generator's traffic shapes."""
+    from repro.net import PROFILES
+    print(f"{'profile':14s} shape")
+    for profile in PROFILES:
+        print(f"{profile:14s} {_PROFILE_NOTES[profile]}")
+    print(f"({len(PROFILES)} profiles; all deterministic under "
+          "--seed, timed on the virtual clock)")
+    return 0
+
+
+def cmd_net_run(args) -> int:
+    """``net run``: drive a seeded traffic profile through an XDP
+    program on the simulated data plane and print the roll-up —
+    verdict counters, drop reasons, delivery and tail latencies."""
+    from repro.net import DataPlane, LoadGen
+    bpf = _make_subsystem(args)
+    _create_maps(bpf, args.map)
+    program = _read_program(args.file)
+    try:
+        prog = bpf.load_program(program, ProgType.XDP, args.file)
+    except VerifierError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return 1
+    plane = DataPlane(bpf.kernel, bpf)
+    nic = plane.create_nic(1, "bpftool0",
+                           queue_depth=args.queue_depth)
+    plane.attach(prog, nic)
+    gen = LoadGen(bpf.kernel, args.profile, seed=args.seed)
+    offered = gen.drive(nic, args.count, plane=plane,
+                        batch_size=args.batch)
+    plane.process_all(args.batch)
+    delivered = len(plane.drain())
+    summary = plane.summary()
+    nic_row = summary["nics"][nic.name]
+    print(f"{args.profile} x{offered['offered']} -> {nic.name} "
+          f"(engine={bpf.vm.engine}, seed={args.seed}, "
+          f"batch={args.batch})")
+    print("  verdicts: " + (", ".join(
+        f"{name}={count}"
+        for name, count in sorted(summary["verdicts"].items())
+        if count) or "none"))
+    print("  rx drops: " + (", ".join(
+        f"{reason}={count}"
+        for reason, count in nic_row["rx_drops"].items()) or "none"))
+    print(f"  delivered {delivered} to userspace rings, "
+          f"{summary['delivery_drops']} dropped at full rings, "
+          f"{nic_row['tx_packets']} transmitted")
+    hist = bpf.kernel.telemetry.net_latency_histogram(nic.name)
+    if hist.count:
+        print(f"  latency p50={hist.quantile(0.5):.0f}ns "
+              f"p99={hist.quantile(0.99):.0f}ns "
+              f"p999={hist.quantile(0.999):.0f}ns "
+              f"mean={hist.mean:.0f}ns")
+    print(f"  clock {summary['clock_ns']}ns, "
+          f"signature {plane.signature()[:16]}…")
+    return 0
+
+
 def cmd_fault_status(args) -> int:
     """``fault status``: run a program with failpoints armed and
     print per-rule and per-site counters."""
@@ -655,6 +729,39 @@ def build_parser() -> argparse.ArgumentParser:
     bugs_sub = bugs.add_subparsers(dest="action", required=True)
     bugs_list = bugs_sub.add_parser("list")
     bugs_list.set_defaults(func=cmd_bugs_list)
+
+    net = sub.add_parser("net", help="the simulated data plane")
+    net_sub = net.add_subparsers(dest="action", required=True)
+    net_profiles = net_sub.add_parser(
+        "profiles", help="list load-generator traffic profiles")
+    net_profiles.set_defaults(func=cmd_net_profiles)
+    net_run = net_sub.add_parser(
+        "run", help="drive seeded traffic through an XDP program")
+    net_run.add_argument("file", help="text-assembly XDP program")
+    net_run.add_argument("--map", action="append",
+                         metavar="TYPE[:KEY:VALUE:ENTRIES]",
+                         help="create a map before loading")
+    net_run.add_argument("--patched", action="store_true",
+                         help="use a kernel with all modeled bugs "
+                              "fixed")
+    net_run.add_argument("--engine", default="compiled",
+                         choices=["interp", "fast", "compiled"],
+                         help="execution tier (default: compiled)")
+    net_run.add_argument("--profile", default="uniform",
+                         choices=list(_PROFILE_NOTES),
+                         help="traffic shape (default: uniform)")
+    net_run.add_argument("--count", type=int, default=10000,
+                         metavar="N",
+                         help="packets to offer (default 10000)")
+    net_run.add_argument("--seed", type=int, default=0,
+                         help="load generator seed (default 0)")
+    net_run.add_argument("--batch", type=int, default=64,
+                         metavar="N",
+                         help="NAPI poll burst size (default 64)")
+    net_run.add_argument("--queue-depth", type=int, default=512,
+                         metavar="N",
+                         help="per-CPU RX queue depth (default 512)")
+    net_run.set_defaults(func=cmd_net_run)
 
     fault = sub.add_parser("fault", help="deterministic fault "
                                          "injection")

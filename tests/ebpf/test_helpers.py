@@ -367,8 +367,8 @@ class TestRegistryPopulation:
     def test_249_helpers(self, bpf):
         assert len(bpf.registry) == 249
 
-    def test_35_implemented(self, bpf):
-        assert len(bpf.registry.implemented()) == 35
+    def test_36_implemented(self, bpf):
+        assert len(bpf.registry.implemented()) == 36
 
     def test_paper_distribution(self, bpf):
         sizes = [s.callgraph_size for s in bpf.registry.all_specs()]

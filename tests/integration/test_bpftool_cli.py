@@ -142,7 +142,7 @@ class TestRegistryCommands:
 
     def test_helper_list_implemented(self, capsys):
         assert main(["helper", "list", "--implemented"]) == 0
-        assert "(35 helpers)" in capsys.readouterr().out
+        assert "(36 helpers)" in capsys.readouterr().out
 
     def test_bugs_list(self, capsys):
         assert main(["bugs", "list"]) == 0
@@ -203,6 +203,69 @@ class TestStatsCommands:
                      "--kind", "run", "--limit", "2"]) == 0
         events = parse_jsonl(capsys.readouterr().out)
         assert [e.kind for e in events] == ["run", "run"]
+
+
+@pytest.fixture
+def xdp_filter_file(tmp_path):
+    """The canonical port filter in text assembly."""
+    path = tmp_path / "filter.s"
+    path.write_text("""
+        r2 = *(u64 *)(r1 +8)
+        r3 = *(u64 *)(r1 +16)
+        r4 = r2
+        r4 += 3
+        if r4 > r3 goto drop
+        r5 = *(u16 *)(r2 +0)
+        if r5 == 23 goto drop
+        r0 = 2
+        exit
+    drop:
+        r0 = 1
+        exit
+    """)
+    return str(path)
+
+
+class TestNetCommands:
+    def test_net_profiles(self, capsys):
+        assert main(["net", "profiles"]) == 0
+        out = capsys.readouterr().out
+        for profile in ("uniform", "bursty", "adversarial",
+                        "heavy_hitter"):
+            assert profile in out
+        assert "(4 profiles" in out
+
+    def test_net_run_uniform(self, xdp_filter_file, capsys):
+        assert main(["net", "run", xdp_filter_file,
+                     "--count", "500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform x500 -> bpftool0" in out
+        assert "engine=compiled" in out
+        assert "drop=" in out and "pass=" in out
+        assert "latency p50=" in out
+        assert "signature" in out
+
+    def test_net_run_adversarial_counts_rx_drops(
+            self, xdp_filter_file, capsys):
+        assert main(["net", "run", xdp_filter_file,
+                     "--profile", "adversarial", "--count", "400",
+                     "--engine", "interp"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=interp" in out
+        assert "oversize=" in out    # 512-byte frames exceed the MTU
+
+    def test_net_run_seed_determinism(self, xdp_filter_file, capsys):
+        assert main(["net", "run", xdp_filter_file,
+                     "--count", "300", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["net", "run", xdp_filter_file,
+                     "--count", "300", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_net_run_verification_failure(self, bad_prog_file,
+                                          capsys):
+        assert main(["net", "run", bad_prog_file]) == 1
+        assert "VERIFICATION FAILED" in capsys.readouterr().out
 
 
 @pytest.fixture

@@ -1,0 +1,1 @@
+"""Data-plane tests: NIC, pipeline, load generator, differential."""

@@ -63,6 +63,41 @@ class TestHistogram:
             Histogram(bounds=(100, 10))
 
 
+class TestQuantile:
+    def test_interpolates_within_bucket(self):
+        h = Histogram(bounds=(10, 20, 30))
+        for v in (5, 15, 25, 28):
+            h.observe(v)
+        # rank 2.0 falls at the top of the (10, 20] bucket
+        assert h.quantile(0.5) == 20.0
+        # rank 3.96 sits 1.96/2 into the (20, 30] bucket
+        assert h.quantile(0.99) == pytest.approx(29.8)
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram(bounds=(10,)).quantile(0.5) == 0.0
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = Histogram(bounds=(10, 20))
+        h.observe(5000)
+        assert h.quantile(0.5) == 20.0
+        assert h.quantile(0.999) == 20.0
+
+    def test_monotone_in_q(self):
+        h = Histogram(bounds=(1, 2, 4, 8, 16))
+        for v in (1, 1, 3, 3, 5, 9, 9, 15, 40):
+            h.observe(v)
+        qs = [h.quantile(q) for q in
+              (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram(bounds=(10,))
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
 class TestRegistry:
     def test_labels_children_are_stable(self):
         reg = MetricsRegistry()

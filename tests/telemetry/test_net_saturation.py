@@ -1,0 +1,131 @@
+"""Drop-counter exactness when delivery rings saturate under batched
+multi-producer pressure.
+
+The contract under test: every record of every batch is *attempted*,
+so ``accepted + refused == attempted`` holds per call, the ring's
+``drops`` / ``dropped_bytes`` counters stay exact across interleaved
+producers, telemetry agrees with the map, and the data plane's
+``pass == delivered + delivery_drops`` reconciliation survives rings
+filling mid-batch — with and without armed ``map.alloc`` faults.
+"""
+
+import pytest
+
+from repro.ebpf import BpfSubsystem, ProgType
+from repro.faultinject.plane import FaultAction, NthHit
+from repro.kernel import Kernel
+from repro.net import DataPlane, LoadGen, SimulatedNic
+from repro.net import programs as xdp_programs
+
+
+@pytest.fixture
+def kernel(leakcheck):
+    k = Kernel()
+    leakcheck(k)
+    return k
+
+
+class TestOutputBatchExactness:
+    def test_every_record_attempted_past_first_enospc(self, kernel):
+        bpf = BpfSubsystem(kernel)
+        ring = bpf.create_map("ringbuf", max_entries=64)
+        # 10 records of 16 bytes against a 64-byte ring: 4 fit
+        batch = [bytes([i]) * 16 for i in range(10)]
+        accepted, refused = ring.output_batch(batch)
+        assert (accepted, refused) == (4, 6)
+        assert ring.drops == 6
+        assert ring.dropped_bytes == 6 * 16
+        fam = kernel.telemetry.registry.get("repro_ringbuf_drops_total")
+        assert fam.labels(str(ring.map_fd)).value == 6
+        fam = kernel.telemetry.registry.get(
+            "repro_ringbuf_dropped_bytes_total")
+        assert fam.labels(str(ring.map_fd)).value == 6 * 16
+
+    def test_interleaved_producers_reconcile(self, kernel):
+        """Two producers alternating batches into one ring: the ring's
+        totals must equal the sum of the per-call results exactly."""
+        bpf = BpfSubsystem(kernel)
+        ring = bpf.create_map("ringbuf", max_entries=100)
+        attempted = accepted_total = refused_total = 0
+        for round_no in range(8):
+            for producer in (0, 1):
+                batch = [bytes([producer]) * 9] * 5
+                accepted, refused = ring.output_batch(batch)
+                attempted += len(batch)
+                accepted_total += accepted
+                refused_total += refused
+        assert accepted_total + refused_total == attempted
+        assert ring.drops == refused_total
+        assert ring.dropped_bytes == refused_total * 9
+        assert len(ring.drain()) == accepted_total
+
+    def test_exact_under_midbatch_alloc_fault(self, kernel):
+        """An armed map.alloc fault firing mid-batch refuses exactly
+        one record; later records still land."""
+        bpf = BpfSubsystem(kernel)
+        ring = bpf.create_map("ringbuf", max_entries=1 << 12)
+        kernel.faults.enable(5)
+        kernel.faults.arm("map.alloc", NthHit(3), FaultAction.err(28))
+        accepted, refused = ring.output_batch([b"x" * 8] * 6)
+        assert (accepted, refused) == (5, 1)
+        assert ring.drops == 1
+        assert ring.dropped_bytes == 8
+
+    def test_drain_resets_capacity_accounting(self, kernel):
+        bpf = BpfSubsystem(kernel)
+        ring = bpf.create_map("ringbuf", max_entries=32)
+        assert ring.output_batch([b"a" * 16, b"b" * 16]) == (2, 0)
+        assert ring.output_batch([b"c" * 16]) == (0, 1)
+        ring.drain()
+        assert ring.output_batch([b"d" * 16]) == (1, 0)
+        assert ring.drops == 1
+
+
+class TestDataPlaneSaturation:
+    def test_pass_reconciles_when_rings_saturate(self, kernel):
+        """Heavy-hitter traffic into deliberately tiny delivery rings:
+        pass verdicts == drained records + delivery_drops, exactly."""
+        bpf = BpfSubsystem(kernel, engine="compiled")
+        plane = DataPlane(kernel, bpf, ringbuf_bytes=256)
+        nic = plane.create_nic(1, "sat0", queue_depth=512)
+        prog = bpf.load_program(xdp_programs.pass_all_prog(),
+                                ProgType.XDP, "passer")
+        plane.attach(prog, nic)
+        gen = LoadGen(kernel, "heavy_hitter", seed=6)
+        delivered = 0
+        for i, payload in enumerate(gen.packets(1200)):
+            nic.receive(payload)
+            if i % 128 == 127:
+                plane.process_all()
+                delivered += len(plane.drain())
+        plane.process_all()
+        delivered += len(plane.drain())
+        assert plane.delivery_drops > 0
+        assert plane.verdicts["pass"] == \
+            delivered + plane.delivery_drops
+        plane.shutdown()
+
+    def test_reconciliation_holds_with_alloc_faults(self, kernel):
+        """Same invariant with map.alloc faults injected into the
+        delivery rings mid-run."""
+        from repro.faultinject.plane import Probability
+        bpf = BpfSubsystem(kernel, engine="compiled")
+        plane = DataPlane(kernel, bpf, ringbuf_bytes=1 << 12)
+        nic = plane.create_nic(1, "sat1", queue_depth=512)
+        prog = bpf.load_program(xdp_programs.pass_all_prog(),
+                                ProgType.XDP, "passer")
+        plane.attach(prog, nic)
+        kernel.faults.enable(9)
+        kernel.faults.arm("map.alloc", Probability(0.3),
+                          FaultAction.err(28))
+        gen = LoadGen(kernel, "uniform", seed=6)
+        stats = gen.drive(nic, 600, plane=plane, poll_every=64)
+        plane.process_all()
+        delivered = len(plane.drain())
+        assert stats["processed"] == 600
+        assert plane.delivery_drops > 0
+        assert plane.verdicts["pass"] == \
+            delivered + plane.delivery_drops
+        ring_drops = sum(r.drops for r in plane.ringbufs)
+        assert ring_drops == plane.delivery_drops
+        plane.shutdown()
