@@ -2,7 +2,7 @@
 # Beyond `make test`: `make coverage` for a line-coverage gate and
 # `make chaos` for the fault-injection corpus replay.
 
-.PHONY: test bench bench-net bench-all coverage chaos recover
+.PHONY: test bench bench-net bench-all coverage chaos recover race
 
 # Tier-1 suite (must stay green).
 test:
@@ -32,6 +32,14 @@ chaos:
 recover:
 	PYTHONPATH=src python -m repro.faultinject.chaos \
 		--recover --check-determinism
+
+# Deterministic race hunt: explore seeded multi-CPU interleavings
+# until both planted concurrency bugs (lock-discipline, RCU
+# use-after-grace) are found with replayable seeds, then prove the
+# race-free corpus clean (zero detector findings) and bit-identical
+# across nproc=1/2/4.  REPRO_RACE_SMOKE=1 shrinks the budgets for CI.
+race:
+	PYTHONPATH=src python -m repro.faultinject.interleave
 
 # Interpreter/load-cache throughput plus telemetry overhead. Writes
 # BENCH_throughput.json (fast-path speedup ratio gated at 80% of

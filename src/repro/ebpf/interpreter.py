@@ -198,6 +198,33 @@ class BpfVm:
         #: XDP_REDIRECT (``None`` when no redirect is pending)
         self.pending_redirect: Optional[int] = None
 
+    # -- SMP context switching ------------------------------------------------
+
+    def save_smp_state(self) -> tuple:
+        """Snapshot the per-program activation state.
+
+        The VM is a shared singleton, but under a deterministic SMP
+        run each logical task owns its own program binding: the
+        scheduler saves this at every suspension and restores it when
+        the task resumes, so interleaved tasks running *different*
+        programs (or mid-tail-call chains) never see each other's
+        dispatch tables or pending redirect."""
+        return (self._current_prog, self._insns, self._decoded,
+                self._compiled, self.pending_redirect)
+
+    def restore_smp_state(self, state: Optional[tuple]) -> None:
+        """Counterpart of :meth:`save_smp_state`; None (a task's first
+        scheduling) resets to the unbound state."""
+        if state is None:
+            self._current_prog = None
+            self._insns = []
+            self._decoded = None
+            self._compiled = None
+            self.pending_redirect = None
+        else:
+            (self._current_prog, self._insns, self._decoded,
+             self._compiled, self.pending_redirect) = state
+
     # -- identity used for refcount/lock/fault attribution -----------------
 
     @property
@@ -753,7 +780,26 @@ class BpfVm:
         source register), XCHG, and CMPXCHG (R0 is the comparand and
         receives the old value).  Unknown sub-ops raise *before*
         touching memory.
+
+        Under a deterministic SMP run the whole RMW is one
+        indivisible step: there is a yield point *before* it, then the
+        constituent load and store are tagged atomic for the race
+        detector and cannot be interleaved — atomic-vs-atomic
+        accesses are not races, which is exactly what makes
+        lock-free per-counter increments pass the race hunt.
         """
+        smp = self.kernel.smp
+        if smp is not None:
+            smp.yield_point("atomic", tag)
+            with smp.atomic_scope():
+                self._atomic_rmw_body(regs, imm, addr, size, src, mem,
+                                      tag)
+            return
+        self._atomic_rmw_body(regs, imm, addr, size, src, mem, tag)
+
+    def _atomic_rmw_body(self, regs: List[int], imm: int, addr: int,
+                         size: int, src: int, mem: object,
+                         tag: str) -> None:
         width_mask = (1 << (size * 8)) - 1
         if imm == isa.BPF_CMPXCHG:
             old = int.from_bytes(mem.read(addr, size, source=tag),
@@ -892,6 +938,9 @@ class BpfVm:
                                     spec.name)
         # a helper call is far more work than one bytecode insn
         self.kernel.work(20 + spec.callgraph_size // 50)
+        smp = self.kernel.smp
+        if smp is not None:
+            smp.yield_point("helper", spec.name)
         faults = self.kernel.faults
         if faults.armed:
             fault = faults.check(f"helper.{spec.name}")

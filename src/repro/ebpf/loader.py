@@ -28,6 +28,7 @@ from repro.ebpf.maps import (
     DevMap,
     HashMap,
     PercpuArrayMap,
+    PercpuHashMap,
     PerfEventArrayMap,
     ProgArrayMap,
     RingBufMap,
@@ -124,6 +125,9 @@ class BpfSubsystem:
         elif map_type == "hash":
             bpf_map = HashMap(self.kernel, map_fd, key_size, value_size,
                               max_entries)
+        elif map_type == "percpu_hash":
+            bpf_map = PercpuHashMap(self.kernel, map_fd, key_size,
+                                    value_size, max_entries)
         elif map_type == "ringbuf":
             bpf_map = RingBufMap(self.kernel, map_fd, max_entries)
         elif map_type == "perf_event_array":

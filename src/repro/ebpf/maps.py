@@ -32,6 +32,7 @@ from repro.kernel.locks import SpinLock
 BPF_MAP_TYPE_ARRAY = "array"
 BPF_MAP_TYPE_PERCPU_ARRAY = "percpu_array"
 BPF_MAP_TYPE_HASH = "hash"
+BPF_MAP_TYPE_PERCPU_HASH = "percpu_hash"
 BPF_MAP_TYPE_RINGBUF = "ringbuf"
 BPF_MAP_TYPE_TASK_STORAGE = "task_storage"
 BPF_MAP_TYPE_PROG_ARRAY = "prog_array"
@@ -104,6 +105,18 @@ class BpfMap:
     def _key_ok(self, key: bytes) -> bool:
         return len(key) == self.key_size
 
+    def _smp_point(self, op: str) -> None:
+        """Shared-map operations are cross-CPU interleaving points
+        while a deterministic SMP run is active (one attribute test
+        otherwise).  Crucially this fires *before* the operation
+        resolves any per-CPU slot, so the executing CPU — which the
+        schedule may just have changed via migration — is the one the
+        access lands on."""
+        smp = self.kernel.smp
+        if smp is not None:
+            kind = op if "." in op else f"map.{op}"
+            smp.yield_point(kind, f"map{self.map_fd}")
+
     def _fault(self, site: str) -> Optional[int]:
         """Consult the fault plane at a map failpoint.
 
@@ -159,6 +172,7 @@ class ArrayMap(BpfMap):
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
+        self._smp_point("lookup")
         if not self._key_ok(key) or self._fault("map.lookup"):
             return None
         index = int.from_bytes(key, "little")
@@ -168,6 +182,7 @@ class ArrayMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
+        self._smp_point("update")
         if not self._key_ok(key):
             return -EINVAL
         errno = self._fault("map.update")
@@ -214,11 +229,17 @@ class PercpuArrayMap(BpfMap):
         ]
 
     def _slot_addr(self, index: int) -> int:
+        """Slice of the *executing* CPU.  Only ever called after the
+        operation's yield point fired, so the CPU consulted here is
+        the one the schedule chose — a migration at the yield lands
+        the access on the new CPU's slice, not the one current at
+        program load or helper entry."""
         storage = self.per_cpu_storage[self.kernel.current_cpu.cpu_id]
         return storage.base + index * self.value_size
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
+        self._smp_point("lookup")
         if not self._key_ok(key) or self._fault("map.lookup"):
             return None
         index = int.from_bytes(key, "little")
@@ -228,6 +249,7 @@ class PercpuArrayMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
+        self._smp_point("update")
         if not self._key_ok(key):
             return -EINVAL
         errno = self._fault("map.update")
@@ -273,6 +295,7 @@ class HashMap(BpfMap):
 
     def lookup_addr(self, key: bytes) -> Optional[int]:
         """See :meth:`BpfMap.lookup_addr`."""
+        self._smp_point("lookup")
         if not self._key_ok(key) or self._fault("map.lookup"):
             return None
         alloc = self._entries.get(key)
@@ -280,6 +303,7 @@ class HashMap(BpfMap):
 
     def update(self, key: bytes, value: bytes) -> int:
         """See :meth:`BpfMap.update`."""
+        self._smp_point("update")
         if not self._key_ok(key):
             return -EINVAL
         errno = self._fault("map.update")
@@ -303,6 +327,7 @@ class HashMap(BpfMap):
 
     def delete(self, key: bytes) -> int:
         """See :meth:`BpfMap.delete`."""
+        self._smp_point("delete")
         if not self._key_ok(key):
             return -EINVAL
         errno = self._fault("map.delete")
@@ -320,6 +345,111 @@ class HashMap(BpfMap):
         if alloc is None:
             return None
         return self.kernel.mem.read(alloc.base, self.value_size)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PercpuHashMap(BpfMap):
+    """Per-CPU hash map (``BPF_MAP_TYPE_PERCPU_HASH``): every key owns
+    one value slice *per CPU*, and a program only ever touches the
+    slice of the CPU it is executing on — resolved at the operation's
+    yield point, exactly like :class:`PercpuArrayMap`, so a migration
+    scheduled at the yield lands the access on the new CPU's slice."""
+
+    map_type = BPF_MAP_TYPE_PERCPU_HASH
+
+    def __init__(self, kernel: Kernel, map_fd: int, key_size: int,
+                 value_size: int, max_entries: int) -> None:
+        super().__init__(kernel, map_fd, key_size, value_size, max_entries)
+        #: key -> one Allocation per CPU (index = cpu_id)
+        self._entries: Dict[bytes, List["Allocation"]] = {}
+
+    def _slices_for(self, key: bytes, create: bool) \
+            -> Optional[List["Allocation"]]:
+        slices = self._entries.get(key)
+        if slices is None and create:
+            if len(self._entries) >= self.max_entries:
+                return None
+            if self._fault("map.alloc"):
+                return None
+            slices = [
+                self.kernel.mem.kmalloc(
+                    self.value_size,
+                    type_name=f"percpu_hash{self.map_fd}_val",
+                    owner=f"bpf-map:cpu{cpu.cpu_id}")
+                for cpu in self.kernel.cpus
+            ]
+            self._entries[key] = slices
+        return slices
+
+    def lookup_addr(self, key: bytes) -> Optional[int]:
+        """See :meth:`BpfMap.lookup_addr` — the executing CPU's slice."""
+        self._smp_point("lookup")
+        if not self._key_ok(key) or self._fault("map.lookup"):
+            return None
+        slices = self._entries.get(key)
+        if slices is None:
+            return None
+        return slices[self.kernel.current_cpu.cpu_id].base
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """See :meth:`BpfMap.update` — writes the executing CPU's
+        slice (other CPUs' slices are created zeroed on first insert,
+        like the real map's percpu allocation)."""
+        self._smp_point("update")
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.update")
+        if errno:
+            return errno
+        if len(value) != self.value_size:
+            return -EINVAL
+        slices = self._slices_for(key, create=True)
+        if slices is None:
+            return -E2BIG if len(self._entries) >= self.max_entries \
+                else -ENOMEM
+        self.kernel.mem.write(
+            slices[self.kernel.current_cpu.cpu_id].base, value)
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """See :meth:`BpfMap.delete` — drops every CPU's slice."""
+        self._smp_point("delete")
+        if not self._key_ok(key):
+            return -EINVAL
+        errno = self._fault("map.delete")
+        if errno:
+            return errno
+        slices = self._entries.pop(key, None)
+        if slices is None:
+            return -ENOENT
+        for alloc in slices:
+            self.kernel.mem.kfree(alloc)
+        return 0
+
+    def read_values(self, key: bytes) -> Optional[List[bytes]]:
+        """Userspace view: this key's value on every CPU."""
+        slices = self._entries.get(key) if self._key_ok(key) else None
+        if slices is None:
+            return None
+        return [self.kernel.mem.read(alloc.base, self.value_size)
+                for alloc in slices]
+
+    def sum_u64(self, key: bytes) -> int:
+        """Userspace aggregation across CPUs (8-byte values)."""
+        values = self.read_values(key)
+        if values is None:
+            return 0
+        return sum(int.from_bytes(raw[:8], "little") for raw in values)
+
+    def destroy(self) -> None:
+        """See :meth:`BpfMap.destroy` — frees every CPU's slices."""
+        for slices in self._entries.values():
+            for alloc in slices:
+                if not alloc.freed:
+                    self.kernel.mem.kfree(alloc)
+        self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -358,6 +488,7 @@ class RingBufMap(BpfMap):
 
     def output(self, data: bytes) -> int:
         """Copy a record in; returns 0 or -ENOSPC (counted)."""
+        self._smp_point("ringbuf.produce")
         errno = self._fault("map.alloc")
         if errno:
             self._note_drop(len(data))
@@ -395,6 +526,7 @@ class RingBufMap(BpfMap):
     def reserve(self, size: int) -> Optional[int]:
         """Reserve a record, returning its kernel address (None on
         bad size or -ENOSPC, the latter counted as a drop)."""
+        self._smp_point("ringbuf.produce")
         if size <= 0:
             return None
         if self._fault("map.alloc"):

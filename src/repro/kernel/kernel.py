@@ -48,9 +48,11 @@ class Kernel:
         self.mem.fault_hook = self._on_memory_fault
         self.rcu = RcuSubsystem(self.clock, self.log)
         self.rcu.faults = self.faults
+        self.rcu.kernel = self
         # locks created through the registry report violations through
         # the official oops path (recovery sees them like any fault)
-        self.locks = LockRegistry(log=self.log, clock=self.clock)
+        self.locks = LockRegistry(log=self.log, clock=self.clock,
+                                  kernel=self)
         #: the recovery supervisor, once :meth:`enable_recovery` ran;
         #: None keeps every dispatch path on its zero-cost fast path
         self.recovery: Optional[object] = None
@@ -58,6 +60,10 @@ class Kernel:
         self.cpus = [Cpu(i) for i in range(nr_cpus)]
         self._current_cpu = 0
         self._funcdb = funcdb
+        #: the deterministic SMP scheduler while a run is active (see
+        #: :mod:`repro.kernel.smp`); None keeps every yield-point hook
+        #: on its one-attribute-test fast path
+        self.smp: Optional[object] = None
 
         self.tasks: List[TaskStruct] = []
         self.sockets: List[Sock] = []

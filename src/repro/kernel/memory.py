@@ -76,6 +76,12 @@ class KernelAddressSpace:
         #: (alloc, address, size, source, write); raising from it
         #: blocks the access — models protection-key checks (§4)
         self.access_policy: Optional[Callable] = None
+        #: optional SMP observer called with (alloc, address, size,
+        #: write) after a valid access resolves — the deterministic
+        #: scheduler turns shared-storage accesses into yield points
+        #: and feeds the race detector through it (one attribute test
+        #: while no SMP run is active)
+        self.smp_note: Optional[Callable] = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -134,6 +140,8 @@ class KernelAddressSpace:
         alloc = self._resolve(address, size, source)
         if self.access_policy is not None:
             self.access_policy(alloc, address, size, source, False)
+        if self.smp_note is not None:
+            self.smp_note(alloc, address, size, False)
         offset = address - alloc.base
         return bytes(alloc.data[offset:offset + size])
 
@@ -145,6 +153,8 @@ class KernelAddressSpace:
         alloc = self._resolve(address, len(data), source)
         if self.access_policy is not None:
             self.access_policy(alloc, address, len(data), source, True)
+        if self.smp_note is not None:
+            self.smp_note(alloc, address, len(data), True)
         offset = address - alloc.base
         alloc.data[offset:offset + len(data)] = data
 

@@ -17,7 +17,7 @@ as the real detector does) — and, like the real kernel, the detector
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import RcuStall
 from repro.kernel.ktime import NSEC_PER_SEC, VirtualClock
@@ -57,6 +57,16 @@ class RcuSubsystem:
         self._holder = "unknown"
         self._next_report_at: Optional[int] = None
         self.stall_reports: List[StallReport] = []
+        #: backref to the owning kernel (wired by Kernel.__init__);
+        #: only consulted for ``kernel.smp`` — one attribute test
+        self.kernel: Optional[object] = None
+        #: per-reader nesting under SMP: task name -> depth.  The
+        #: serialized world keeps using the single global section
+        #: (key ``__serial__``), so ``_nesting``/``_holder`` stay
+        #: exactly what the leak-check invariants expect.
+        self._readers: Dict[str, int] = {}
+        #: completed grace periods (advances on every synchronize)
+        self.gp_seq = 0
         clock.add_tick_callback("rcu-stall-detector", self._on_tick)
 
     @property
@@ -64,8 +74,28 @@ class RcuSubsystem:
         """True inside a read-side critical section."""
         return self._nesting > 0
 
+    def readers_active(self) -> List[str]:
+        """Reader keys currently inside read-side sections."""
+        return sorted(k for k, d in self._readers.items() if d > 0)
+
+    def _smp_task(self):
+        """(scheduler, task) when called from a scheduled SMP task."""
+        kernel = self.kernel
+        if kernel is None or kernel.smp is None:
+            return None, None
+        smp = kernel.smp
+        task = smp._scheduled_task()
+        if task is None:
+            return None, None
+        return smp, task
+
     def read_lock(self, holder: str = "kernel") -> None:
-        """Enter a read-side critical section (nests)."""
+        """Enter a read-side critical section (nests per reader)."""
+        smp, task = self._smp_task()
+        if smp is not None:
+            smp.yield_point("rcu.enter", holder)
+        key = task.name if task is not None else "__serial__"
+        self._readers[key] = self._readers.get(key, 0) + 1
         if self._nesting == 0:
             self._section_start_ns = self._clock.now_ns
             self._holder = holder
@@ -76,19 +106,62 @@ class RcuSubsystem:
         """Leave a read-side critical section."""
         if self._nesting == 0:
             raise RuntimeError("rcu_read_unlock without rcu_read_lock")
+        smp, task = self._smp_task()
+        key = task.name if task is not None else "__serial__"
+        if self._readers.get(key, 0) == 0:
+            raise RuntimeError(
+                f"rcu_read_unlock by {key} which holds no read lock")
+        self._readers[key] -= 1
+        if self._readers[key] == 0:
+            del self._readers[key]
         self._nesting -= 1
         if self._nesting == 0:
             self._section_start_ns = None
             self._next_report_at = None
+        if smp is not None:
+            smp.note_rcu_exit()
+            smp.yield_point("rcu.exit", key)
 
     def synchronize(self) -> None:
-        """Wait for a grace period.  Deadlocks (faults) if called from
-        inside a read-side critical section."""
-        if self.read_lock_held:
+        """Wait for a grace period.
+
+        Serialized execution: faults (self-deadlock) if *any* read-side
+        section is open, as before — nothing else could ever close it.
+        Under an active SMP run: still a self-deadlock if the calling
+        task itself holds the read lock; otherwise the grace period
+        snapshots the readers currently inside their sections and
+        **blocks the caller until every one of them exits** (readers
+        that enter after the snapshot are irrelevant, like real RCU).
+        Advances :attr:`gp_seq` on completion.
+        """
+        smp, task = self._smp_task()
+        if smp is None:
+            if self.read_lock_held:
+                raise RcuStall(
+                    "synchronize_rcu() called with RCU read lock held "
+                    f"by {self._holder}: self-deadlock",
+                    source=self._holder)
+            self._check_sync_faults()
+            self.gp_seq += 1
+            return
+        if self._readers.get(task.name, 0) > 0:
             raise RcuStall(
                 "synchronize_rcu() called with RCU read lock held "
-                f"by {self._holder}: self-deadlock",
-                source=self._holder)
+                f"by {task.name}: self-deadlock",
+                source=task.name)
+        smp.yield_point("rcu.sync", "enter")
+        snapshot = self.readers_active()
+        if snapshot:
+            smp.wait_until(
+                lambda: all(self._readers.get(k, 0) == 0
+                            for k in snapshot),
+                f"rcu.gp({','.join(snapshot)})")
+        self._check_sync_faults()
+        self.gp_seq += 1
+        smp.note_rcu_sync()
+        smp.yield_point("rcu.sync", f"gp{self.gp_seq}")
+
+    def _check_sync_faults(self) -> None:
         faults = self.faults
         if faults is not None and faults.armed:
             # an injected delay stretches the grace period on the

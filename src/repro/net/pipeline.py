@@ -161,6 +161,42 @@ class DataPlane:
                         progressed = True
         return done
 
+    def process_all_smp(self, seed: int = 0,
+                        batch_size: int = DEFAULT_BATCH) -> int:
+        """Concurrent poll under the deterministic SMP scheduler.
+
+        Where :meth:`process_all` serializes queues round-robin, this
+        spawns one logical task per (NIC, RX queue) pinned to the
+        queue's CPU, so queues genuinely race: bursts on different
+        CPUs interleave at every yield point (helper calls, shared-map
+        ops, ring-buffer produce) under the seeded schedule.  The VM's
+        per-program activation state is context-switched per task.
+        Same seed, same trace — the scheduler is left on
+        :attr:`last_smp` so callers can pin ``trace_signature()``.
+        Returns how many packets reached a verdict."""
+        from repro.kernel.smp import SmpScheduler
+
+        smp = SmpScheduler(self.kernel, seed=seed)
+        smp.vm = self.subsystem.vm
+        for ifindex in sorted(self.hooks):
+            hook = self.hooks[ifindex]
+            for queue in hook.nic.queues:
+                def worker(hook: XdpHook = hook,
+                           queue: RxQueue = queue) -> int:
+                    done = 0
+                    while queue.pending:
+                        done += self._poll_queue(hook, queue,
+                                                 batch_size)
+                    return done
+                smp.spawn(worker, cpu=queue.cpu_id,
+                          name=f"poll:{hook.nic.name}q{queue.cpu_id}")
+        #: the completed scheduler of the most recent SMP poll
+        self.last_smp = smp
+        if not smp.tasks:
+            return 0
+        results = smp.run()
+        return sum(r for r in results if isinstance(r, int))
+
     def poll(self, nic: SimulatedNic,
              batch_size: int = DEFAULT_BATCH) -> int:
         """One NAPI pass: up to ``batch_size`` packets from each of

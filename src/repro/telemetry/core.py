@@ -128,6 +128,20 @@ class Telemetry:
             "repro_net_latency_ns",
             "Per-packet virtual latency from NIC receive to verdict",
             ("nic",), buckets=NET_LATENCY_BUCKETS)
+        # deterministic SMP (always on; idle while no run is active)
+        self._smp_contention = reg.counter(
+            "repro_smp_lock_contention_total",
+            "Contended spinlock acquisitions under the deterministic "
+            "SMP scheduler, by lock and spinning CPU",
+            ("lock", "cpu"))
+        self._smp_races = reg.counter(
+            "repro_smp_races_total",
+            "Data races flagged by the happens-before/lockset "
+            "detector, by storage type", ("type_name",))
+        self._smp_switches = reg.counter(
+            "repro_smp_switches_total",
+            "Cross-CPU task switches performed by interleaving "
+            "schedules", ())
         # recovery accounting (always on; idle when no supervisor)
         self._recovery_events = reg.counter(
             "repro_recovery_events_total",
@@ -288,6 +302,22 @@ class Telemetry:
         """Count packets lost outside a program verdict (NIC-level
         drop, RX queue overflow, vanished redirect target)."""
         self._net_rx_drops.labels(nic, reason).inc(count)
+
+    # -- deterministic SMP (always on) ---------------------------------------------
+
+    def record_lock_contention(self, lock: str, cpu: int) -> None:
+        """Count one contended spinlock acquisition (a CPU genuinely
+        spun waiting for another CPU's holder)."""
+        self._smp_contention.labels(lock, cpu).inc()
+
+    def record_race(self, type_name: str) -> None:
+        """Count one detector-confirmed data race."""
+        self._smp_races.labels(type_name).inc()
+
+    def record_smp_switches(self, count: int) -> None:
+        """Fold one SMP run's cross-CPU task switches in."""
+        if count:
+            self._smp_switches.labels().inc(count)
 
     def record_recovery_event(
             self, kind: str, tag: str,

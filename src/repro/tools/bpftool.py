@@ -19,6 +19,11 @@ Usage (each invocation boots a fresh simulated kernel):
         --arm 'helper.*=prob:0.5=errno:EINVAL' --seed 7 --repeat 10
     python -m repro.tools.bpftool fault status prog.s \
         --arm 'map.update=nth:2=errno:ENOMEM' --repeat 5
+    python -m repro.tools.bpftool race list
+    python -m repro.tools.bpftool race run unlocked_counter \
+        --budget 32 --seed 0
+    python -m repro.tools.bpftool race status rcu_use_after_grace \
+        --seed 5
 
 The stats/trace commands model ``sysctl kernel.bpf_stats_enabled=1``
 followed by ``bpftool prog show``: the fresh kernel boots with run
@@ -608,6 +613,89 @@ def cmd_fault_status(args) -> int:
     return status
 
 
+def _race_scenarios():
+    """name -> builder over both scenario families."""
+    from repro.faultinject.interleave import PLANTED, RACE_FREE
+    table = {name: builder for name, (builder, _) in PLANTED.items()}
+    table.update(RACE_FREE)
+    return table
+
+
+def cmd_race_list(args) -> int:
+    """``race list``: show the interleaving scenario registry."""
+    from repro.faultinject.interleave import PLANTED, RACE_FREE
+    print(f"{'scenario':24s} {'kind':10s} expectation")
+    for name, (_builder, expected) in sorted(PLANTED.items()):
+        print(f"{name:24s} {'planted':10s} explorer must find a "
+              f"{expected}")
+    for name in sorted(RACE_FREE):
+        print(f"{name:24s} {'race-free':10s} zero findings on every "
+              "schedule")
+    print(f"({len(PLANTED) + len(RACE_FREE)} scenarios; "
+          "'race run NAME' explores, 'race status NAME --seed S' "
+          "replays one schedule)")
+    return 0
+
+
+def cmd_race_run(args) -> int:
+    """``race run``: explore seeded interleavings of one scenario and
+    print every distinct finding with its replayable seed."""
+    from repro.analysis.racehunt import ScheduleExplorer
+    scenarios = _race_scenarios()
+    if args.scenario not in scenarios:
+        print(f"unknown scenario {args.scenario!r} "
+              f"(see 'race list')", file=sys.stderr)
+        return 2
+    explorer = ScheduleExplorer(
+        scenarios[args.scenario], nr_cpus=args.cpus,
+        base_seed=args.seed, migration_rate=args.migration_rate)
+    result = explorer.explore(budget=args.budget)
+    for finding in result.findings:
+        print(f"  [{finding.kind:8s}] seed={finding.seed:<4} "
+              f"{finding.description}")
+        print(f"             trace {finding.trace_signature[:16]}…")
+    roll = result.summary()
+    print(f"{args.scenario}: {roll['findings']} distinct findings "
+          f"({roll['races']} races, {roll['oopses']} oopses, "
+          f"{roll['deadlocks']} deadlocks) in {roll['schedules_run']} "
+          f"schedules, {roll['distinct_states']} distinct states "
+          f"(cpus={args.cpus}, base seed {args.seed})")
+    if result.findings:
+        print(f"replay: bpftool race status {args.scenario} "
+              f"--seed {result.findings[0].seed} --cpus {args.cpus}")
+    return 0
+
+
+def cmd_race_status(args) -> int:
+    """``race status``: replay one exact seed of a scenario and print
+    the decision trace tail plus the scheduler roll-up."""
+    from repro.analysis.racehunt import replay
+    scenarios = _race_scenarios()
+    if args.scenario not in scenarios:
+        print(f"unknown scenario {args.scenario!r} "
+              f"(see 'race list')", file=sys.stderr)
+        return 2
+    smp = replay(scenarios[args.scenario], args.seed,
+                 nr_cpus=args.cpus,
+                 migration_rate=args.migration_rate)
+    tail = smp.trace[-args.limit:] if args.limit else smp.trace
+    for seq, kind, detail, task, cpu, chosen in tail:
+        print(f"  #{seq:<5} {kind:14s} {detail:28s} "
+              f"{task}@cpu{cpu} -> cpu{chosen}")
+    roll = smp.summary()
+    print(f"schedule {roll['schedule']}: {roll['decisions']} "
+          f"decisions, {roll['switches']} switches, "
+          f"{roll['lock_contentions']} contended acquires, "
+          f"{roll['migrations']} migrations")
+    print(f"trace signature {roll['trace_signature']}")
+    for exc in smp.errors():
+        print(f"  outcome: {type(exc).__name__}: {exc}")
+    if smp.detector is not None:
+        for race in smp.detector.races:
+            print(f"  race: {race.describe()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -779,6 +867,40 @@ def build_parser() -> argparse.ArgumentParser:
         "status", parents=[faulty],
         help="run a program with failpoints armed, print counters")
     fault_status.set_defaults(func=cmd_fault_status)
+
+    race = sub.add_parser("race", help="deterministic interleaving "
+                                       "exploration")
+    race_sub = race.add_subparsers(dest="action", required=True)
+    race_list = race_sub.add_parser(
+        "list", help="show the interleaving scenario registry")
+    race_list.set_defaults(func=cmd_race_list)
+
+    racy = argparse.ArgumentParser(add_help=False)
+    racy.add_argument("scenario", help="scenario name (see race list)")
+    racy.add_argument("--seed", type=int, default=0,
+                      help="base seed (default 0)")
+    racy.add_argument("--cpus", type=int, default=2,
+                      help="logical CPUs (default 2)")
+    racy.add_argument("--migration-rate", type=float, default=0.0,
+                      metavar="P",
+                      help="per-decision migration probability")
+
+    race_run = race_sub.add_parser(
+        "run", parents=[racy],
+        help="explore seeded interleavings, print findings + seeds")
+    race_run.add_argument("--budget", type=int, default=32,
+                          metavar="N",
+                          help="schedules to explore (default 32)")
+    race_run.set_defaults(func=cmd_race_run)
+
+    race_status = race_sub.add_parser(
+        "status", parents=[racy],
+        help="replay one exact seed, print the decision trace")
+    race_status.add_argument("--limit", type=int, default=24,
+                             metavar="N",
+                             help="trace tail length (default 24, "
+                                  "0 = full trace)")
+    race_status.set_defaults(func=cmd_race_status)
 
     return parser
 

@@ -1,0 +1,183 @@
+"""The race detector and schedule explorer: planted bugs must be
+found, the race-free corpus must stay silent and nproc-invariant."""
+
+import pytest
+
+from repro.analysis.racehunt import (
+    RaceDetector,
+    ScheduleExplorer,
+    replay,
+)
+from repro.faultinject.interleave import (
+    PLANTED,
+    RACE_FREE,
+    check_race_free,
+    hunt_planted,
+    run_signature,
+    scenario_unlocked_counter,
+)
+
+
+class TestDetectorUnit:
+    """Feed the detector directly — no scheduler involved."""
+
+    def make(self):
+        det = RaceDetector()
+        det.begin_task("a")
+        det.begin_task("b")
+        return det
+
+    def test_conflicting_unordered_writes_race(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, True, (), False)
+        det.record_access("b", 1, "obj", 0, 8, True, (), False)
+        assert len(det.races) == 1
+        report = det.races[0]
+        assert report.type_name == "obj"
+        assert "write by a" in report.describe()
+
+    def test_read_read_is_not_a_race(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, False, (), False)
+        det.record_access("b", 1, "obj", 0, 8, False, (), False)
+        assert det.races == []
+
+    def test_disjoint_offsets_do_not_conflict(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 4, True, (), False)
+        det.record_access("b", 1, "obj", 4, 4, True, (), False)
+        assert det.races == []
+
+    def test_partial_overlap_caught(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, True, (), False)
+        det.record_access("b", 1, "obj", 6, 4, True, (), False)
+        assert len(det.races) == 1
+
+    def test_common_lockset_suppresses(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, True, ("L",), False)
+        det.record_access("b", 1, "obj", 0, 8, True, ("L", "M"),
+                          False)
+        assert det.races == []
+
+    def test_lock_release_acquire_is_happens_before(self):
+        """FastTrack edge: a's release publishes its clock; b's
+        acquire joins it, ordering b's access after a's."""
+        det = self.make()
+        det.on_acquire("a", "L")
+        det.record_access("a", 1, "obj", 0, 8, True, ("L",), False)
+        det.on_release("a", "L")
+        det.on_acquire("b", "L")
+        # b accesses WITHOUT holding L: lockset is empty, only the
+        # inherited happens-before edge protects this
+        det.on_release("b", "L")
+        det.record_access("b", 1, "obj", 0, 8, True, (), False)
+        assert det.races == []
+
+    def test_rcu_exit_to_sync_is_happens_before(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, False, (), False)
+        det.on_rcu_exit("a")
+        det.on_rcu_sync("b")
+        det.record_access("b", 1, "obj", 0, 8, True, (), False)
+        assert det.races == []
+
+    def test_atomic_vs_atomic_exempt_but_mixed_reported(self):
+        det = self.make()
+        det.record_access("a", 1, "obj", 0, 8, True, (), True)
+        det.record_access("b", 1, "obj", 0, 8, True, (), True)
+        assert det.races == []
+        det.record_access("b", 2, "cell", 0, 8, True, (), True)
+        det.record_access("a", 2, "cell", 0, 8, True, (), False)
+        assert len(det.races) == 1
+
+    def test_duplicate_pairs_deduped(self):
+        det = self.make()
+        for __ in range(3):
+            det.record_access("a", 1, "obj", 0, 8, True, (), False)
+            det.record_access("b", 1, "obj", 0, 8, True, (), False)
+        assert len(det.races) == 1
+
+
+class TestPlantedBugs:
+    def test_unlocked_counter_flagged_on_first_schedule(self):
+        result = ScheduleExplorer(scenario_unlocked_counter,
+                                  nr_cpus=2).explore(budget=1)
+        races = result.by_kind("race")
+        assert races
+        assert "unlocked-writer" in races[0].description
+        assert "counter.lock" in races[0].description
+
+    def test_race_finding_seed_replays(self):
+        result = ScheduleExplorer(scenario_unlocked_counter,
+                                  nr_cpus=2, base_seed=5).explore(
+                                      budget=4)
+        finding = result.by_kind("race")[0]
+        replayed = replay(scenario_unlocked_counter, finding.seed,
+                          nr_cpus=2)
+        assert replayed.trace_signature() == finding.trace_signature
+        assert replayed.detector.races
+
+    def test_hunt_planted_finds_both_bug_classes(self):
+        """The acceptance gate: one lock-discipline bug and one RCU
+        use-after-grace bug, each reproducibly found within a bounded
+        seeded budget with a replayable seed."""
+        report = hunt_planted(budget=16, base_seed=0)
+        assert set(report) == set(PLANTED)
+        assert report["unlocked_counter"]["expected"] == "race"
+        assert report["rcu_use_after_grace"]["expected"] == "oops"
+        for entry in report.values():
+            assert isinstance(entry["replay_seed"], int)
+
+    def test_races_counted_in_telemetry(self):
+        from repro.kernel import Kernel
+        from repro.kernel.smp import SmpScheduler
+        from repro.analysis.racehunt import RaceDetector
+        kernel = Kernel(nr_cpus=2)
+        detector = RaceDetector()
+        smp = SmpScheduler(kernel, seed=0, detector=detector)
+        scenario_unlocked_counter(smp)
+        smp.run()
+        assert detector.races
+        # explorer mirrors confirmed races into the counter family
+        explorer = ScheduleExplorer(scenario_unlocked_counter,
+                                    nr_cpus=2)
+        explorer.explore(budget=1)
+
+
+class TestNprocInvariance:
+    """Satellite: race-free corpus is bit-identical across nproc."""
+
+    @pytest.mark.parametrize("name", sorted(RACE_FREE))
+    def test_signature_invariant_across_nproc(self, name):
+        scenario = RACE_FREE[name]
+        for seed in (0, 3):
+            signatures = set()
+            for nproc in (1, 2, 4):
+                invariant, __, races = run_signature(scenario, nproc,
+                                                     seed)
+                assert races == 0, \
+                    f"{name}: false positive at nproc={nproc}"
+                signatures.add(invariant)
+            assert len(signatures) == 1, \
+                f"{name}: outcome depends on CPU placement (seed {seed})"
+
+    @pytest.mark.parametrize("name", sorted(RACE_FREE))
+    def test_same_seed_identical_trace(self, name):
+        scenario = RACE_FREE[name]
+        first = run_signature(scenario, 2, seed=1)
+        second = run_signature(scenario, 2, seed=1)
+        assert first == second
+
+    def test_check_race_free_harness_passes(self):
+        report = check_race_free(budget=2, base_seed=0)
+        assert set(report) == set(RACE_FREE)
+
+    def test_planted_bug_breaks_invariance_check(self):
+        """Sanity: the differential harness is not vacuous — a racy
+        scenario fails it (detector findings)."""
+        with pytest.raises(AssertionError, match="false positive"):
+            check_race_free(
+                budget=1, base_seed=0,
+                scenarios={"planted": scenario_unlocked_counter})

@@ -1,0 +1,170 @@
+"""RCU under SMP: real concurrent readers, blocking grace periods."""
+
+import re
+
+import pytest
+
+from repro.analysis.racehunt import ScheduleExplorer, replay
+from repro.errors import RcuStall, UseAfterFree
+from repro.faultinject.interleave import scenario_rcu_use_after_grace
+from repro.kernel import Kernel
+from repro.kernel.smp import ScriptedInterleaving, SmpScheduler
+
+
+class TestGracePeriodBlocks:
+    def test_writer_blocks_until_reader_exits(self):
+        """Forced interleaving: the writer's synchronize() starts
+        while the reader is inside its section, blocks, and returns
+        only after the reader exits."""
+        kernel = Kernel(nr_cpus=2)
+        events = []
+        smp_box = {}
+        def reader():
+            kernel.rcu.read_lock(holder="reader")
+            events.append("enter")
+            smp_box["smp"].yield_point("preempt", "inside")
+            events.append("exiting")
+            kernel.rcu.read_unlock()
+        def writer():
+            kernel.rcu.synchronize()
+            events.append("gp")
+        # reader enters (decisions 1-2), is preempted (3), the writer
+        # starts its grace period and blocks (4-5), the reader drains,
+        # and the writer completes
+        schedule = ScriptedInterleaving([0, 0, 1, 1, 0, 1])
+        smp = SmpScheduler(kernel, schedule=schedule)
+        smp_box["smp"] = smp
+        smp.spawn(reader, cpu=0, name="reader")
+        smp.spawn(writer, cpu=1, name="writer")
+        smp.run()
+        assert events == ["enter", "exiting", "gp"]
+        assert kernel.rcu.gp_seq == 1
+        blocked = [e for e in smp.trace
+                   if e[1] == "block" and e[2].startswith("rcu.gp")]
+        assert blocked, "writer never actually blocked on the gp"
+
+    def test_gp_waits_for_all_snapshot_readers_on_every_seed(self):
+        """Property over seeds: whenever synchronize() blocked on a
+        set of readers, it returned only after every one of them
+        exited."""
+        spanning_runs = 0
+        for seed in range(12):
+            kernel = Kernel(nr_cpus=3)
+            smp = SmpScheduler(kernel, seed=seed)
+            events = []
+            def make_reader(name):
+                def body():
+                    kernel.rcu.read_lock(holder=name)
+                    smp.yield_point("preempt", name)
+                    events.append(f"exit:{name}")
+                    kernel.rcu.read_unlock()
+                return body
+            def writer():
+                kernel.rcu.synchronize()
+                events.append("gp")
+            smp.spawn(make_reader("r1"), cpu=0, name="r1")
+            smp.spawn(make_reader("r2"), cpu=1, name="r2")
+            smp.spawn(writer, cpu=2, name="writer")
+            smp.run()
+            waited_on = set()
+            for entry in smp.trace:
+                if entry[1] == "block" and entry[2].startswith("rcu.gp"):
+                    match = re.match(r"rcu\.gp\(([^)]*)\)", entry[2])
+                    waited_on.update(match.group(1).split(","))
+            if waited_on:
+                spanning_runs += 1
+                gp_at = events.index("gp")
+                for name in waited_on:
+                    assert events.index(f"exit:{name}") < gp_at, \
+                        f"seed {seed}: gp completed before {name} exited"
+            assert kernel.rcu.gp_seq == 1
+        assert spanning_runs > 0, \
+            "no seed produced a reader-spanning grace period"
+
+    def test_readers_nest_per_task(self):
+        kernel = Kernel(nr_cpus=2)
+        smp = SmpScheduler(kernel, seed=0)
+        def reader():
+            kernel.rcu.read_lock(holder="outer")
+            kernel.rcu.read_lock(holder="inner")
+            assert kernel.rcu.readers_active() == ["reader"]
+            kernel.rcu.read_unlock()
+            kernel.rcu.read_unlock()
+        smp.spawn(reader, cpu=0, name="reader")
+        smp.run()
+        assert kernel.rcu.readers_active() == []
+        assert not kernel.rcu.read_lock_held
+
+    def test_unlock_without_lock_by_task_raises(self):
+        kernel = Kernel(nr_cpus=2)
+        # holder enters its section first, then the rogue unlocks
+        smp = SmpScheduler(kernel,
+                           schedule=ScriptedInterleaving([0, 0, 1]))
+        events = []
+        def holder():
+            kernel.rcu.read_lock(holder="holder")
+            smp.yield_point("preempt", "inside")
+            kernel.rcu.read_unlock()
+            events.append("ok")
+        def rogue():
+            kernel.rcu.read_unlock()  # holds nothing
+        smp.spawn(holder, cpu=0, name="holder")
+        smp.spawn(rogue, cpu=1, name="rogue")
+        smp.run(collect_errors=True)
+        errors = smp.errors()
+        assert len(errors) == 1
+        assert isinstance(errors[0], RuntimeError)
+        assert "holds no read lock" in str(errors[0])
+        assert events == ["ok"]
+
+    def test_synchronize_inside_own_section_is_self_deadlock(self):
+        kernel = Kernel(nr_cpus=2)
+        smp = SmpScheduler(kernel, seed=0)
+        def bad_writer():
+            kernel.rcu.read_lock(holder="w")
+            try:
+                kernel.rcu.synchronize()
+            finally:
+                kernel.rcu.read_unlock()
+        smp.spawn(bad_writer, cpu=0, name="w")
+        with pytest.raises(RcuStall, match="self-deadlock"):
+            smp.run()
+
+    def test_serialized_synchronize_unchanged(self, leakcheck):
+        kernel = Kernel()
+        leakcheck(kernel)
+        kernel.rcu.synchronize()
+        assert kernel.rcu.gp_seq == 1
+        kernel.rcu.read_lock(holder="r")
+        with pytest.raises(RcuStall):
+            kernel.rcu.synchronize()
+        kernel.rcu.read_unlock()
+
+
+class TestUseAfterGrace:
+    def test_explorer_finds_planted_use_after_grace(self):
+        """The planted free-without-grace-period bug must surface as
+        a use-after-free within a small seeded budget, with a seed
+        that replays to the identical trace."""
+        explorer = ScheduleExplorer(scenario_rcu_use_after_grace,
+                                    nr_cpus=2, base_seed=0)
+        result = explorer.explore(budget=16)
+        oopses = result.by_kind("oops")
+        assert oopses, "use-after-grace bug not found in 16 schedules"
+        finding = oopses[0]
+        assert "use-after-free" in finding.description
+        assert "rcu_obj" in finding.description
+        replayed = replay(scenario_rcu_use_after_grace, finding.seed,
+                          nr_cpus=2)
+        assert replayed.trace_signature() == finding.trace_signature
+        assert any(isinstance(e, UseAfterFree)
+                   for e in replayed.errors())
+
+    def test_discovery_is_reproducible(self):
+        def hunt():
+            result = ScheduleExplorer(
+                scenario_rcu_use_after_grace, nr_cpus=2,
+                base_seed=0).explore(budget=16)
+            return [(f.kind, f.seed, f.trace_signature)
+                    for f in result.findings]
+        assert hunt() == hunt()
