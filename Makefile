@@ -2,7 +2,7 @@
 # Beyond `make test`: `make coverage` for a line-coverage gate and
 # `make chaos` for the fault-injection corpus replay.
 
-.PHONY: test bench bench-net bench-all coverage chaos recover race
+.PHONY: test bench bench-net bench-all coverage chaos recover race fleet
 
 # Tier-1 suite (must stay green).
 test:
@@ -40,6 +40,16 @@ recover:
 # across nproc=1/2/4.  REPRO_RACE_SMOKE=1 shrinks the budgets for CI.
 race:
 	PYTHONPATH=src python -m repro.faultinject.interleave
+
+# Staged-rollout acceptance demo: a 200-node simulated fleet must
+# take the good release to 100%, halt the planted bad release at its
+# canary wave and roll every node back, and produce bit-identical
+# rollout signatures + telemetry exports across two invocations of
+# the same seed.  FLEET_NODES/FLEET_SEED override the defaults.
+fleet:
+	PYTHONPATH=src python -m repro.fleet.demo \
+		--nodes $(or $(FLEET_NODES),200) \
+		--seed $(or $(FLEET_SEED),7)
 
 # Interpreter/load-cache throughput plus telemetry overhead. Writes
 # BENCH_throughput.json (fast-path speedup ratio gated at 80% of

@@ -51,6 +51,7 @@ from typing import Callable, Iterator, List, Optional, Sequence
 from repro.ebpf import isa
 from repro.ebpf.bugs import BugConfig
 from repro.ebpf.compile import CompiledProgram, compile_program
+from repro.ebpf.engine import ENGINE_NAMES, resolve_engine
 from repro.ebpf.helpers.base import HelperCallContext
 from repro.ebpf.isa import Insn, to_s64, to_u64
 from repro.ebpf.predecode import (
@@ -78,8 +79,9 @@ _F32 = 1 << 32
 #: decode-per-step path stays available as the differential baseline
 DEFAULT_FAST_PATH = True
 
-#: the three execution tiers, slowest to fastest
-ENGINES = ("interp", "fast", "compiled")
+#: the three execution tiers, slowest to fastest (re-exported from
+#: :mod:`repro.ebpf.engine`, the single source of truth)
+ENGINES = ENGINE_NAMES
 
 #: explicit module-default engine; ``None`` defers to
 #: ``DEFAULT_FAST_PATH`` (kept for compatibility with older tests
@@ -171,12 +173,9 @@ class BpfVm:
                 engine = DEFAULT_ENGINE
             else:
                 engine = "fast" if DEFAULT_FAST_PATH else "interp"
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"expected one of {ENGINES}")
         #: default execution tier; a loaded program may override it
         #: via its own ``engine`` attribute
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         #: legacy boolean view of the engine (anything predecoded)
         self.fast_path = engine != "interp"
         #: fresh compilations performed by this VM (lazy path; the

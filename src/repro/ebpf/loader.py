@@ -17,9 +17,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.ebpf.bugs import BugConfig
 from repro.ebpf.compile import CompiledProgram, compile_program
+from repro.ebpf.engine import EngineLike, resolve_engine
 from repro.ebpf.helpers.registry import HelperRegistry, \
     build_default_registry
-from repro.ebpf.interpreter import ENGINES, BpfVm
+from repro.ebpf.interpreter import BpfVm
 from repro.ebpf.isa import Insn
 from repro.ebpf.jit import JitResult, jit_compile
 from repro.ebpf.maps import (
@@ -82,7 +83,7 @@ class BpfSubsystem:
                  use_jit: bool = True,
                  use_load_cache: bool = True,
                  fast_path: Optional[bool] = None,
-                 engine: Optional[str] = None) -> None:
+                 engine: EngineLike = None) -> None:
         self.kernel = kernel
         self.registry = registry or build_default_registry()
         self.bugs = bugs or BugConfig()
@@ -106,6 +107,22 @@ class BpfSubsystem:
         #: verifier distrust was to disallow unprivileged loading
         #: entirely — on by default since 2021
         self.unprivileged_bpf_disabled = True
+
+    @classmethod
+    def from_spec(cls, kernel: Kernel, spec: "object" = None,
+                  registry: Optional[HelperRegistry] = None,
+                  bugs: Optional[BugConfig] = None,
+                  limits: Optional[VerifierLimits] = None,
+                  ) -> "BpfSubsystem":
+        """Stamp a subsystem from a kernel's declarative
+        :class:`~repro.kernel.spec.KernelSpec` (defaults to the spec
+        the kernel itself was booted from) — the subsystem half of
+        the fleet's node factory."""
+        spec = spec if spec is not None else kernel.spec
+        return cls(kernel, registry=registry, bugs=bugs,
+                   limits=limits, use_jit=spec.use_jit,
+                   use_load_cache=spec.use_load_cache,
+                   engine=spec.engine)
 
     # -- maps -----------------------------------------------------------------
 
@@ -331,6 +348,10 @@ class BpfSubsystem:
             f"bpf: loaded prog {prog.prog_id} ({name}) "
             f"type={prog_type.value} insns={len(prog.insns)} "
             f"verified in {stats.insns_processed} steps")
+        self.kernel.events.publish(
+            "load", source=f"bpf:{name}", prog_id=prog.prog_id,
+            prog_type=prog_type.value, insns=len(prog.insns),
+            cache_hit=cached is not None)
         return prog
 
     # -- program management -------------------------------------------------------
@@ -344,14 +365,15 @@ class BpfSubsystem:
         return [self._progs[pid] for pid in sorted(self._progs)]
 
     def set_engine(self, prog: LoadedProgram,
-                   engine: Optional[str]) -> None:
+                   engine: EngineLike) -> None:
         """Pin a program to an execution tier (``None`` clears the
         override and the program follows the VM default again).
         Pinning ``compiled`` compiles eagerly so the cost lands at
         configuration time, not on the next invocation."""
-        if engine is not None and engine not in ENGINES:
-            raise BpfRuntimeError(f"unknown engine {engine!r}; "
-                                  f"expected one of {ENGINES}")
+        try:
+            engine = resolve_engine(engine)
+        except ValueError as error:
+            raise BpfRuntimeError(str(error)) from None
         prog.engine = engine
         if engine == "compiled" and prog.compiled is None:
             decoded = prog.predecoded

@@ -106,14 +106,24 @@ def _maps_fingerprint(maps: Iterable[Tuple[int, object]]) -> str:
     return "|".join(parts)
 
 
+def insns_digest(insns: Iterable[object]) -> str:
+    """SHA-256 over every instruction field — the bytecode half of the
+    cache key, and the content hash the fleet's release registry signs
+    (one serialization, so a signed release and a cached load agree on
+    what "the same program" means)."""
+    h = hashlib.sha256()
+    for insn in insns:
+        h.update(f"{insn.opcode},{insn.dst},{insn.src},"
+                 f"{insn.off},{insn.imm};".encode())
+    return h.hexdigest()
+
+
 def fingerprint(insns: Iterable[object], prog_type: object,
                 config: object, maps: Iterable[Tuple[int, object]],
                 use_jit: bool) -> str:
     """Content hash of one load request (see module docstring)."""
     h = hashlib.sha256()
-    for insn in insns:
-        h.update(f"{insn.opcode},{insn.dst},{insn.src},"
-                 f"{insn.off},{insn.imm};".encode())
+    h.update(insns_digest(insns).encode())
     h.update(f"|type={getattr(prog_type, 'value', prog_type)}".encode())
     h.update(f"|jit={use_jit}".encode())
     h.update(f"|leaks={config.allow_ptr_leaks}".encode())

@@ -1,0 +1,68 @@
+"""Fleet control plane: signed staged rollouts with canary rollback.
+
+The paper's §3 architecture moves safety out of the kernel and into a
+trusted toolchain — but once verification happens *before* deployment,
+the deployment machinery itself becomes part of the safety story: a
+signed release that misbehaves in production must be caught and rolled
+back by the control plane, not by an in-kernel verifier.  This package
+models that control plane over hundreds of simulated kernels:
+
+* :mod:`repro.fleet.services` — the pure core: a release registry
+  that content-hashes and signs extension images
+  (:class:`~repro.fleet.services.registry.ReleaseRegistry`), a
+  staged-rollout planner (1% → 10% → 50% → 100% waves,
+  :class:`~repro.fleet.services.planner.RolloutPlanner`), a canary
+  evaluator over supervisor health states
+  (:class:`~repro.fleet.services.canary.CanaryEvaluator`), a
+  fleet-wide telemetry aggregator
+  (:class:`~repro.fleet.services.aggregate.FleetTelemetry`) and the
+  orchestrator that drives a rollout to completion or rolls it back
+  (:class:`~repro.fleet.services.orchestrator.RolloutOrchestrator`).
+* :mod:`repro.fleet.ports` — the boundary the services drive the
+  fleet through; the orchestrator never touches a ``Kernel``.
+* :mod:`repro.fleet.adapters` — the in-process simulated fleet
+  (:class:`~repro.fleet.adapters.sim.SimFleet`, hundreds of
+  :class:`~repro.kernel.kernel.Kernel` instances stamped from one
+  :class:`~repro.kernel.spec.KernelSpec`) and the ``bpftool fleet``
+  CLI adapter.
+
+Determinism is the contract throughout: the same (release, seed,
+fault schedule) yields a bit-identical rollout log and final health
+census, pinned by a SHA-256 signature over the wave log.
+"""
+
+from repro.fleet.ports import DeployResult, FleetPort, NODE_STATES
+from repro.fleet.services.aggregate import FleetTelemetry
+from repro.fleet.services.canary import (
+    CanaryEvaluator,
+    CanaryPolicy,
+    CanaryVerdict,
+)
+from repro.fleet.services.orchestrator import (
+    RolloutEntry,
+    RolloutOrchestrator,
+    RolloutReport,
+)
+from repro.fleet.services.planner import RolloutPlanner, Wave
+from repro.fleet.services.registry import Release, ReleaseRegistry
+from repro.fleet.adapters.node import FleetNode
+from repro.fleet.adapters.sim import SimFleet
+
+__all__ = [
+    "CanaryEvaluator",
+    "CanaryPolicy",
+    "CanaryVerdict",
+    "DeployResult",
+    "FleetNode",
+    "FleetPort",
+    "FleetTelemetry",
+    "NODE_STATES",
+    "Release",
+    "ReleaseRegistry",
+    "RolloutEntry",
+    "RolloutOrchestrator",
+    "RolloutPlanner",
+    "RolloutReport",
+    "SimFleet",
+    "Wave",
+]

@@ -1,0 +1,170 @@
+"""One fleet node: a simulated kernel plus its deployment agent.
+
+A :class:`FleetNode` owns one :class:`~repro.kernel.kernel.Kernel`
+(stamped from the fleet's shared
+:class:`~repro.kernel.spec.KernelSpec`) and the small amount of agent
+state a real fleet daemon would keep: the trusted verification key,
+the release currently running, the one before it (the rollback
+target).  Health is *not* polled out of supervisor internals — the
+node subscribes to its own kernel's event stream and tracks the last
+``health`` transition for the running release's tag, exactly what an
+external agent could see.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.core.signing import SigningKey
+from repro.ebpf.loader import BpfSubsystem
+from repro.ebpf.progcache import insns_digest
+from repro.errors import ReproError
+from repro.fleet.ports import DeployResult
+from repro.kernel import Kernel, KernelSpec
+
+
+def soak_payload(run: int) -> bytes:
+    """The canonical soak packet for run number ``run``: dst port 80
+    (never the filtered port), a run-derived source id, a fixed body —
+    deterministic and release-agnostic."""
+    return struct.pack("<HB", 80, run & 0xFF) + b"fleet-soak"
+
+
+class FleetNode:
+    """One node of the simulated fleet."""
+
+    def __init__(self, node_id: str, spec: KernelSpec,
+                 trusted_key: SigningKey,
+                 funcdb: Optional[object] = None) -> None:
+        """Boot one node from the fleet image ``spec``; the node
+        trusts releases signed by ``trusted_key``."""
+        self.node_id = node_id
+        self.kernel = Kernel.from_spec(spec, funcdb=funcdb)
+        self.bpf = BpfSubsystem.from_spec(self.kernel)
+        self.trusted_key = trusted_key
+        #: the release currently attached (None before preinstall)
+        self.current: Optional[object] = None
+        #: the rollback target (the release ``current`` replaced)
+        self.previous: Optional[object] = None
+        self.deploy_failed = False
+        self._health = "healthy"
+        self.kernel.events.subscribe(self._on_health,
+                                     kinds=("health",))
+
+    def _tag(self, release: object) -> str:
+        """The supervisor/hook tag for a release's program."""
+        return f"bpf:{release.name}"
+
+    def _on_health(self, event: object) -> None:
+        """Track the running release's supervisor state from the
+        event stream (the agent's only health source)."""
+        if self.current is not None \
+                and event.source == self._tag(self.current):
+            self._health = event.get("new")
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, release: object) -> DeployResult:
+        """Verify, load and attach one release.  The node re-checks
+        the signature itself (§3.1's load-time check): a registry
+        compromise upstream must not turn into code in this kernel."""
+        if self.kernel.log.panicked:
+            return DeployResult(self.node_id, release.release_id,
+                                ok=False, error="dead",
+                                detail="kernel panicked")
+        if insns_digest(release.insns) != release.content_hash \
+                or not self.trusted_key.verify(release.image_bytes(),
+                                               release.signature):
+            self.deploy_failed = True
+            return DeployResult(self.node_id, release.release_id,
+                                ok=False, error="signature",
+                                detail="refused unsigned image")
+        tag = self._tag(release)
+        try:
+            prog = self.bpf.load_program(
+                list(release.insns), release.prog_type,
+                name=release.name)
+        except ReproError as exc:
+            self.deploy_failed = True
+            return DeployResult(self.node_id, release.release_id,
+                                ok=False, error="verifier",
+                                detail=type(exc).__name__)
+        # replace whatever ran before: detach it and decommission its
+        # breaker state — the incoming image deserves a fresh slate
+        # even when it reuses the outgoing program's tag
+        if self.current is not None \
+                and self.current.release_id != release.release_id:
+            old_tag = self._tag(self.current)
+            self.kernel.hooks.detach_everywhere(old_tag)
+            self.kernel.soft_reset(
+                (old_tag,),
+                reason=f"redeploy -> {release.release_id}")
+        self.kernel.hooks.detach_everywhere(tag)
+        self.bpf.attach_xdp(prog)
+        if self.current is not None \
+                and self.current.release_id != release.release_id:
+            self.previous = self.current
+        self.current = release
+        self.deploy_failed = False
+        self._health = "healthy"
+        return DeployResult(self.node_id, release.release_id, ok=True)
+
+    def rollback(self) -> Optional[str]:
+        """Restore the previous release; returns its id or None.
+
+        The sequence matters: detach the suspect program, then
+        ``soft_reset`` its tag — clearing the scoped taint *and* the
+        supervisor's circuit breaker (half-open trial, quarantine
+        backoff) so the restored program starts HEALTHY — then
+        redeploy the prior image (a content-hash cache hit: no
+        re-verification)."""
+        if self.previous is None or self.kernel.log.panicked:
+            return None
+        suspect, target = self.current, self.previous
+        if suspect is not None:
+            tag = self._tag(suspect)
+            self.kernel.hooks.detach_everywhere(tag)
+            self.kernel.soft_reset(
+                (tag,),
+                reason=f"rollback {suspect.release_id} -> "
+                       f"{target.release_id}")
+            self.current = None  # decommissioned; deploy() starts clean
+        result = self.deploy(target)
+        if not result.ok:
+            return None
+        # a rolled-back node has no further fallback
+        self.previous = None
+        return target.release_id
+
+    # -- observation ----------------------------------------------------------
+
+    def soak(self, runs: int) -> None:
+        """Drive ``runs`` canonical packets through the XDP chain
+        (supervised dispatch: faults feed the circuit breaker)."""
+        for run in range(runs):
+            self.kernel.hooks.deliver_packet(soak_payload(run))
+
+    def census(self) -> str:
+        """This node's health classification (see
+        :data:`~repro.fleet.ports.NODE_STATES`)."""
+        if self.kernel.log.panicked or self.kernel.log.tainted:
+            return "dead"
+        if self.deploy_failed:
+            return "deploy-failed"
+        return self._health
+
+    def snapshot(self) -> Dict[str, object]:
+        """Compact roll-up for the fleet aggregator; also publishes a
+        ``telemetry`` event on the node's stream (the kernel-side
+        half of the census)."""
+        event = self.kernel.emit_telemetry_snapshot()
+        return {
+            "node": self.node_id,
+            "release": (self.current.release_id
+                        if self.current else None),
+            "health": self.census(),
+            "oopses": event.get("oopses"),
+            "contained": event.get("contained"),
+            "clock_ns": event.get("clock_ns"),
+        }

@@ -1,0 +1,97 @@
+"""The port the rollout services drive the fleet through.
+
+Hexagonal boundary: everything in :mod:`repro.fleet.services` talks to
+nodes exclusively via :class:`FleetPort` — deploy, soak, census,
+rollback, subscribe — and never imports a :class:`Kernel`.  The
+in-process simulated fleet (:mod:`repro.fleet.adapters.sim`) is the
+one implementation today; the seam is what makes the orchestrator
+testable against a handful of nodes and runnable against hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: the health census vocabulary, in escalating order of trouble.
+#: ``healthy``/``degraded``/``quarantined`` mirror the supervisor's
+#: :class:`~repro.recovery.supervisor.HealthState`; ``deploy-failed``
+#: marks a node that refused or failed the release (bad signature,
+#: verifier rejection); ``dead`` marks a panicked or tainted kernel.
+NODE_STATES: Tuple[str, ...] = (
+    "healthy", "degraded", "quarantined", "deploy-failed", "dead")
+
+#: census states the canary counts against a release
+UNHEALTHY_STATES: Tuple[str, ...] = (
+    "degraded", "quarantined", "deploy-failed", "dead")
+
+
+@dataclass(frozen=True)
+class DeployResult:
+    """Outcome of pushing one release to one node."""
+
+    node_id: str
+    release_id: str
+    ok: bool
+    #: machine-readable failure class ("" on success): ``signature``,
+    #: ``verifier``, ``dead``
+    error: str = ""
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form for the rollout log."""
+        return {"node_id": self.node_id, "release_id": self.release_id,
+                "ok": self.ok, "error": self.error,
+                "detail": self.detail}
+
+
+class FleetPort:
+    """What the control plane may do to a fleet (driven port).
+
+    Implementations must be deterministic: :meth:`node_ids` has a
+    stable order, and every method's effect is a pure function of the
+    call sequence and the nodes' seeds.
+    """
+
+    def node_ids(self) -> List[str]:
+        """Every node in the fleet, in stable (sorted) order."""
+        raise NotImplementedError
+
+    def deploy(self, node_id: str, release: object) -> DeployResult:
+        """Push a signed release to one node: verify the signature,
+        load through the node's pipeline, attach.  Never raises —
+        failures come back in the :class:`DeployResult`."""
+        raise NotImplementedError
+
+    def rollback(self, node_id: str) -> Optional[str]:
+        """Revert one node to the release it ran before the current
+        one; returns the restored release id, or None when the node
+        has nothing to roll back to (or is dead)."""
+        raise NotImplementedError
+
+    def soak(self, node_id: str, runs: int) -> None:
+        """Drive ``runs`` representative invocations through the
+        node's hook chain so the supervisor can observe the release."""
+        raise NotImplementedError
+
+    def census(self, node_id: str) -> str:
+        """The node's health classification (one of
+        :data:`NODE_STATES`) for its current release."""
+        raise NotImplementedError
+
+    def current_release(self, node_id: str) -> Optional[str]:
+        """The release id the node currently runs (None pre-install)."""
+        raise NotImplementedError
+
+    def subscribe(self, node_id: str,
+                  handler: Callable[[object], None],
+                  kinds: Optional[Tuple[str, ...]] = None) -> object:
+        """Subscribe to one node's kernel event stream (see
+        :class:`~repro.kernel.events.EventBus`); returns the
+        subscription handle."""
+        raise NotImplementedError
+
+    def snapshot(self, node_id: str) -> Dict[str, object]:
+        """A compact telemetry roll-up for one node (the aggregator's
+        per-node census source)."""
+        raise NotImplementedError

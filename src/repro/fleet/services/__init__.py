@@ -1,0 +1,39 @@
+"""The fleet control plane's pure core.
+
+Five services, each alone in its module, all driving the fleet through
+:class:`~repro.fleet.ports.FleetPort` and none importing a kernel:
+
+* :mod:`~repro.fleet.services.registry` — signed release images
+* :mod:`~repro.fleet.services.planner` — staged wave planning
+* :mod:`~repro.fleet.services.canary` — health-census verdicts
+* :mod:`~repro.fleet.services.aggregate` — fleet-wide telemetry
+* :mod:`~repro.fleet.services.orchestrator` — the rollout driver
+"""
+
+from repro.fleet.services.aggregate import FleetTelemetry
+from repro.fleet.services.canary import (
+    CanaryEvaluator,
+    CanaryPolicy,
+    CanaryVerdict,
+)
+from repro.fleet.services.orchestrator import (
+    RolloutEntry,
+    RolloutOrchestrator,
+    RolloutReport,
+)
+from repro.fleet.services.planner import RolloutPlanner, Wave
+from repro.fleet.services.registry import Release, ReleaseRegistry
+
+__all__ = [
+    "CanaryEvaluator",
+    "CanaryPolicy",
+    "CanaryVerdict",
+    "FleetTelemetry",
+    "Release",
+    "ReleaseRegistry",
+    "RolloutEntry",
+    "RolloutOrchestrator",
+    "RolloutPlanner",
+    "RolloutReport",
+    "Wave",
+]

@@ -1,0 +1,94 @@
+"""Canary evaluation: is this wave healthy enough to continue?
+
+The canary signal is the supervisor's health-state machine (PR 4),
+observed per node through the fleet port: after a wave deploys and
+soaks, every wave node is classified into the census vocabulary
+(:data:`~repro.fleet.ports.NODE_STATES`) and the unhealthy fraction —
+DEGRADED, QUARANTINED, deploy-failed or dead — is compared against
+the policy threshold.  One failed wave halts the rollout; the
+orchestrator then rolls every upgraded node back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.fleet.ports import NODE_STATES, UNHEALTHY_STATES
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Tunables for the canary gate."""
+
+    #: fraction of a wave's nodes allowed to be unhealthy before the
+    #: wave fails (0.05 = one bad node in twenty halts the rollout)
+    max_unhealthy_fraction: float = 0.05
+    #: supervised invocations driven through each node per wave before
+    #: the census is taken — enough for the circuit breaker to reach
+    #: QUARANTINED (quarantine_threshold faults) on a bad release
+    soak_runs: int = 4
+
+
+@dataclass(frozen=True)
+class CanaryVerdict:
+    """The census and pass/fail decision for one wave."""
+
+    #: which wave was judged
+    wave_index: int
+    #: ``(state, count)`` pairs in :data:`NODE_STATES` order,
+    #: zero-count states included — a fixed-shape census row
+    census: Tuple[Tuple[str, int], ...]
+    #: nodes counted unhealthy (see :data:`UNHEALTHY_STATES`)
+    unhealthy: int
+    #: wave size
+    total: int
+    #: whether the rollout may continue
+    passed: bool
+
+    @property
+    def unhealthy_fraction(self) -> float:
+        """Unhealthy nodes over wave size (0.0 for an empty wave)."""
+        return self.unhealthy / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form for the rollout log and telemetry export."""
+        return {
+            "wave": self.wave_index,
+            "census": dict(self.census),
+            "unhealthy": self.unhealthy,
+            "total": self.total,
+            "unhealthy_fraction": round(self.unhealthy_fraction, 6),
+            "passed": self.passed,
+        }
+
+
+class CanaryEvaluator:
+    """Turn a wave's node states into a :class:`CanaryVerdict`."""
+
+    def __init__(self, policy: Optional[CanaryPolicy] = None) -> None:
+        """Create an evaluator with ``policy`` (defaults apply)."""
+        self.policy = policy or CanaryPolicy()
+
+    def evaluate(self, wave_index: int,
+                 states: Mapping[str, str]) -> CanaryVerdict:
+        """Judge one wave from its per-node census states.  Unknown
+        state strings are refused loudly — a silent miscount here
+        would green-light a bad release."""
+        counts = {state: 0 for state in NODE_STATES}
+        for node_id, state in states.items():
+            if state not in counts:
+                raise ValueError(
+                    f"node {node_id} reported unknown health state "
+                    f"{state!r}; expected one of {NODE_STATES}")
+            counts[state] += 1
+        unhealthy = sum(counts[state] for state in UNHEALTHY_STATES)
+        total = len(states)
+        passed = (total == 0
+                  or unhealthy / total
+                  <= self.policy.max_unhealthy_fraction)
+        return CanaryVerdict(
+            wave_index=wave_index,
+            census=tuple((state, counts[state])
+                         for state in NODE_STATES),
+            unhealthy=unhealthy, total=total, passed=passed)

@@ -1,0 +1,267 @@
+"""The rollout driver: staged deploy, canary gate, auto-rollback.
+
+One :meth:`RolloutOrchestrator.rollout` call takes a published release
+through the planner's waves.  Per wave: deploy to every wave node
+(signature re-checked on each node), soak the wave under supervised
+dispatch, take the health census through the port, ask the canary.  A
+failed verdict halts the rollout and rolls **every** upgraded node
+back to its prior release — the supervisor's circuit breakers are
+reset by the rollback path (``kernel.soft_reset``), so restored nodes
+re-enter HEALTHY instead of inheriting the bad release's open breaker.
+
+Everything the orchestrator decides lands in an append-only
+:class:`RolloutEntry` log whose SHA-256 :meth:`RolloutReport.signature`
+is a pure function of (release, seed, fault schedule) — the rollout
+analogue of the supervisor's audit signature, and what the
+determinism suite pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.ports import FleetPort
+from repro.fleet.services.canary import CanaryEvaluator, CanaryVerdict
+from repro.fleet.services.planner import RolloutPlanner, Wave
+from repro.fleet.services.registry import Release, ReleaseRegistry
+
+
+@dataclass(frozen=True)
+class RolloutEntry:
+    """One control-plane decision, stamped with a sequence number
+    (the control plane has no clock of its own — node time is node
+    business)."""
+
+    seq: int
+    kind: str
+    #: wave number the entry belongs to (0 = rollout-level)
+    wave: int
+    #: sorted ``(key, value)`` pairs
+    detail: Tuple[Tuple[str, object], ...]
+
+    def get(self, key: str, default: object = None) -> object:
+        """One detail value."""
+        return dict(self.detail).get(key, default)
+
+    def render(self) -> str:
+        """One log line."""
+        parts = " ".join(f"{k}={v}" for k, v in self.detail)
+        return (f"[{self.seq:03d}] wave={self.wave} {self.kind}"
+                + (f" {parts}" if parts else ""))
+
+    def signature_bytes(self) -> bytes:
+        """Stable serialization for the rollout signature."""
+        return repr((self.seq, self.kind, self.wave,
+                     self.detail)).encode()
+
+
+class RolloutReport:
+    """Everything one rollout did: log, verdicts, final census."""
+
+    def __init__(self, release_id: str, seed: int) -> None:
+        """Start an empty report for ``release_id`` under ``seed``."""
+        self.release_id = release_id
+        self.seed = seed
+        #: terminal state: ``completed`` (100% fleet), ``rolled-back``
+        #: (canary failed, every upgraded node restored), ``halted``
+        #: (operator stop, nodes left as they are), ``rejected``
+        #: (signature refused before any deploy)
+        self.outcome = "in-progress"
+        self.entries: List[RolloutEntry] = []
+        self.verdicts: List[CanaryVerdict] = []
+        #: fleet-wide ``state -> count`` census taken after the
+        #: rollout settled
+        self.final_census: Dict[str, int] = {}
+        #: nodes running the release when the rollout settled
+        self.converged_nodes = 0
+
+    def log(self, kind: str, wave: int = 0,
+            **detail: object) -> RolloutEntry:
+        """Append one decision to the rollout log."""
+        entry = RolloutEntry(
+            seq=len(self.entries), kind=kind, wave=wave,
+            detail=tuple(sorted(detail.items())))
+        self.entries.append(entry)
+        return entry
+
+    def signature(self) -> str:
+        """SHA-256 over the log and the final census: two rollouts
+        with the same signature made the same decisions about the
+        same fleet."""
+        digest = hashlib.sha256()
+        for entry in self.entries:
+            digest.update(entry.signature_bytes())
+        digest.update(repr(sorted(self.final_census.items())).encode())
+        return digest.hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        """The compact JSON-able roll-up (telemetry's ``rollouts``
+        rows)."""
+        return {
+            "release": self.release_id,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "waves": len(self.verdicts),
+            "converged_nodes": self.converged_nodes,
+            "final_census": dict(self.final_census),
+            "signature": self.signature(),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """The full report (CLI ``--json`` body)."""
+        body = self.summary()
+        body["verdicts"] = [v.as_dict() for v in self.verdicts]
+        body["log"] = [e.render() for e in self.entries]
+        return body
+
+    def render(self) -> str:
+        """The human-readable rollout log."""
+        lines = [e.render() for e in self.entries]
+        lines.append(f"outcome: {self.outcome} "
+                     f"signature={self.signature()[:16]}")
+        return "\n".join(lines)
+
+
+class RolloutOrchestrator:
+    """Drives releases through a fleet, one rollout at a time."""
+
+    def __init__(self, fleet: FleetPort, registry: ReleaseRegistry,
+                 planner: Optional[RolloutPlanner] = None,
+                 canary: Optional[CanaryEvaluator] = None,
+                 telemetry: Optional[object] = None) -> None:
+        """Wire the services together; ``telemetry`` (a
+        :class:`~repro.fleet.services.aggregate.FleetTelemetry`) is
+        optional — rollouts work headless."""
+        self.fleet = fleet
+        self.registry = registry
+        self.planner = planner or RolloutPlanner()
+        self.canary = canary or CanaryEvaluator()
+        self.telemetry = telemetry
+        self._halt_requested = False
+
+    def halt(self) -> None:
+        """Operator stop: the rollout finishes its current wave and
+        goes no further (no rollback — the operator decides next)."""
+        self._halt_requested = True
+
+    # -- the rollout ----------------------------------------------------------
+
+    def rollout(self, release_id: str, seed: int,
+                halt_after: Optional[int] = None) -> RolloutReport:
+        """Deploy ``release_id`` through staged waves under ``seed``.
+
+        ``halt_after`` stops after that wave index (the CLI's
+        ``fleet halt`` demonstration).  Returns the full
+        :class:`RolloutReport`; never raises for release misbehavior —
+        a bad release is an *outcome*, not an exception."""
+        self._halt_requested = False
+        report = RolloutReport(release_id, seed)
+        release = self.registry.get(release_id)
+        if not self.registry.verify(release):
+            report.log("rejected", release=release_id,
+                       reason="signature verification failed")
+            report.outcome = "rejected"
+            self._finish(report)
+            return report
+
+        node_ids = self.fleet.node_ids()
+        waves = self.planner.plan(node_ids, seed)
+        report.log(
+            "plan", release=release_id, seed=seed,
+            fleet=len(node_ids), waves=len(waves),
+            fractions=",".join(str(f) for f in
+                               self.planner.fractions))
+        upgraded: List[str] = []
+        outcome = "completed"
+        for wave in waves:
+            if self._halt_requested:
+                outcome = "halted"
+                report.log("halt", wave=wave.index,
+                           reason="operator", upgraded=len(upgraded))
+                break
+            verdict = self._run_wave(report, release, wave, upgraded)
+            if not verdict.passed:
+                self._roll_back(report, wave, upgraded)
+                outcome = "rolled-back"
+                break
+            if halt_after is not None and wave.index >= halt_after:
+                outcome = "halted"
+                report.log("halt", wave=wave.index,
+                           reason=f"halt-after-{halt_after}",
+                           upgraded=len(upgraded))
+                break
+        report.outcome = outcome
+        self._finish(report)
+        return report
+
+    def _run_wave(self, report: RolloutReport, release: Release,
+                  wave: Wave, upgraded: List[str]) -> CanaryVerdict:
+        """Deploy, soak and judge one wave; extends ``upgraded`` with
+        the nodes that took the release."""
+        report.log("wave-start", wave=wave.index,
+                   fraction=wave.fraction, nodes=len(wave.node_ids))
+        failures = 0
+        for node_id in wave.node_ids:
+            result = self.fleet.deploy(node_id, release)
+            if result.ok:
+                upgraded.append(node_id)
+            else:
+                failures += 1
+                report.log("deploy-failed", wave=wave.index,
+                           node=node_id, error=result.error,
+                           detail=result.detail)
+        for node_id in wave.node_ids:
+            self.fleet.soak(node_id, self.canary.policy.soak_runs)
+        states = {node_id: self.fleet.census(node_id)
+                  for node_id in wave.node_ids}
+        verdict = self.canary.evaluate(wave.index, states)
+        report.verdicts.append(verdict)
+        if self.telemetry is not None:
+            self.telemetry.record_wave(release.release_id, verdict)
+        report.log("canary", wave=wave.index,
+                   passed=verdict.passed,
+                   unhealthy=verdict.unhealthy, total=verdict.total,
+                   census=";".join(f"{s}:{c}" for s, c
+                                   in verdict.census if c))
+        return verdict
+
+    def _roll_back(self, report: RolloutReport, wave: Wave,
+                   upgraded: List[str]) -> None:
+        """Canary failure: restore every upgraded node, deploy order."""
+        report.log("halt", wave=wave.index, reason="canary-failed",
+                   upgraded=len(upgraded))
+        restored = 0
+        stuck = 0
+        for node_id in upgraded:
+            previous = self.fleet.rollback(node_id)
+            if previous is None:
+                stuck += 1
+                report.log("rollback-failed", wave=wave.index,
+                           node=node_id)
+            else:
+                restored += 1
+        if self.telemetry is not None and restored:
+            self.telemetry.record_rollback(restored)
+        report.log("rollback", wave=wave.index,
+                   restored=restored, stuck=stuck)
+
+    def _finish(self, report: RolloutReport) -> None:
+        """Take the settled fleet-wide census and close the report."""
+        census: Dict[str, int] = {}
+        converged = 0
+        for node_id in self.fleet.node_ids():
+            state = self.fleet.census(node_id)
+            census[state] = census.get(state, 0) + 1
+            if self.fleet.current_release(node_id) \
+                    == report.release_id:
+                converged += 1
+        report.final_census = census
+        report.converged_nodes = converged
+        report.log("done", outcome=report.outcome,
+                   converged=converged,
+                   census=";".join(f"{s}:{c}" for s, c
+                                   in sorted(census.items())))
+        if self.telemetry is not None:
+            self.telemetry.record_rollout(report)

@@ -1,0 +1,88 @@
+"""Staged rollout planning: who upgrades, in which wave.
+
+The planner turns a node list and a seed into waves sized by
+cumulative fleet fractions — the classic 1% → 10% → 50% → 100%
+progression.  Assignment is a seeded shuffle, so which nodes land in
+the canary wave is unpredictable to the release author but exactly
+reproducible from the seed — the property the determinism suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: the default cumulative wave fractions
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.01, 0.10, 0.50, 1.0)
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One rollout stage: the nodes that upgrade in it."""
+
+    #: 1-based wave number
+    index: int
+    #: cumulative fleet fraction this wave completes
+    fraction: float
+    #: the nodes newly upgraded in this wave
+    node_ids: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary."""
+        return {"index": self.index, "fraction": self.fraction,
+                "nodes": len(self.node_ids)}
+
+
+class RolloutPlanner:
+    """Split a fleet into waves along cumulative fractions."""
+
+    def __init__(self,
+                 fractions: Sequence[float] = DEFAULT_FRACTIONS,
+                 ) -> None:
+        """Validate and fix the wave fractions: strictly increasing,
+        each in (0, 1], ending at 1.0 (a rollout that never reaches
+        the whole fleet is a config error, not a plan)."""
+        fractions = tuple(fractions)
+        if not fractions or fractions[-1] != 1.0:
+            raise ValueError(
+                f"wave fractions must end at 1.0, got {fractions!r}")
+        previous = 0.0
+        for fraction in fractions:
+            if not previous < fraction <= 1.0:
+                raise ValueError(
+                    "wave fractions must be strictly increasing "
+                    f"within (0, 1], got {fractions!r}")
+            previous = fraction
+        self.fractions = fractions
+
+    def plan(self, node_ids: Sequence[str], seed: int) -> List[Wave]:
+        """The wave assignment for this fleet under this seed.
+
+        Nodes are shuffled by a dedicated seeded RNG, then sliced at
+        the cumulative counts ``ceil(fraction * N)``; every wave gets
+        at least one new node (small fleets still canary), and the
+        last wave absorbs the remainder so the plan always covers the
+        fleet exactly once."""
+        order = sorted(node_ids)
+        if not order:
+            raise ValueError("cannot plan a rollout over zero nodes")
+        random.Random(f"rollout-plan:{seed}").shuffle(order)
+        total = len(order)
+        waves: List[Wave] = []
+        done = 0
+        for index, fraction in enumerate(self.fractions, start=1):
+            target = min(total, max(done + 1,
+                                    math.ceil(fraction * total)))
+            if fraction == 1.0:
+                target = total
+            if target <= done:
+                continue  # fleet exhausted by earlier waves
+            waves.append(Wave(
+                index=index, fraction=fraction,
+                node_ids=tuple(order[done:target])))
+            done = target
+            if done == total:
+                break
+        return waves

@@ -11,8 +11,10 @@ The central type is :class:`Kernel`, which aggregates the subsystems
 and is passed to both extension frameworks.
 """
 
+from repro.kernel.events import EventBus, KernelEvent, Subscription
 from repro.kernel.kernel import Kernel
 from repro.kernel.ktime import VirtualClock
+from repro.kernel.spec import KernelSpec
 from repro.kernel.memory import KernelAddressSpace, Allocation
 from repro.kernel.panic import KernelLog
 from repro.kernel.rcu import RcuSubsystem
@@ -22,7 +24,11 @@ from repro.kernel.cpu import Cpu
 from repro.kernel.objects import TaskStruct, Sock, SkBuff, RequestSock
 
 __all__ = [
+    "EventBus",
     "Kernel",
+    "KernelEvent",
+    "KernelSpec",
+    "Subscription",
     "VirtualClock",
     "KernelAddressSpace",
     "Allocation",

@@ -14,8 +14,10 @@ from typing import Dict, List, Optional
 from repro.errors import KernelSafetyViolation, MemoryFault
 from repro.faultinject.plane import FaultPlane
 from repro.kernel.cpu import Cpu
+from repro.kernel.events import EventBus
 from repro.kernel.funcdb import FunctionDatabase, build_default_funcdb
 from repro.kernel.ktime import VirtualClock
+from repro.kernel.spec import KernelSpec
 from repro.kernel.locks import LockRegistry
 from repro.kernel.memory import KernelAddressSpace
 from repro.kernel.objects import RequestSock, SkBuff, Sock, TaskStruct
@@ -32,14 +34,35 @@ class Kernel:
     """One booted instance of the simulated kernel."""
 
     def __init__(self, nr_cpus: int = 4,
-                 funcdb: Optional[FunctionDatabase] = None) -> None:
+                 funcdb: Optional[FunctionDatabase] = None,
+                 spec: Optional[KernelSpec] = None) -> None:
+        """Boot a kernel.  The legacy keywords are a thin shim over
+        :class:`~repro.kernel.spec.KernelSpec`: they are folded into
+        one (``spec`` wins when both are given) and the spec's
+        post-boot fields — stats toggle, supervisor, fault schedule —
+        are applied last, exactly as :meth:`from_spec` would."""
+        if spec is None:
+            spec = KernelSpec(nr_cpus=nr_cpus)
+        #: the declarative config this kernel was stamped from
+        self.spec = spec
         self.clock = VirtualClock()
         self.log = KernelLog()
+        #: the subscribable event stream (see
+        #: :mod:`repro.kernel.events`); fleet orchestrators observe
+        #: the kernel exclusively through this bus
+        self.events = EventBus(clock=self.clock)
         #: the shared observability hub; ``telemetry.stats_enabled``
         #: models the ``kernel.bpf_stats_enabled`` sysctl
         self.telemetry = Telemetry(clock=self.clock)
-        self.log.on_oops = lambda oops: self.telemetry.record_oops(
-            oops.timestamp_ns, oops.category, oops.source)
+        # telemetry is the bus's first subscriber, so counters update
+        # before any external observer sees the event
+        self.events.subscribe(
+            lambda e: self.telemetry.record_oops(
+                e.timestamp_ns, e.get("category"), e.source),
+            kinds=("oops",))
+        self.log.on_oops = lambda oops: self.events.publish(
+            "oops", source=oops.source,
+            timestamp_ns=oops.timestamp_ns, category=oops.category)
         #: the fault-injection plane; disabled (one bool test) unless
         #: a chaos experiment arms it
         self.faults = FaultPlane(clock=self.clock,
@@ -57,7 +80,7 @@ class Kernel:
         #: None keeps every dispatch path on its zero-cost fast path
         self.recovery: Optional[object] = None
         self.refs = RefcountRegistry()
-        self.cpus = [Cpu(i) for i in range(nr_cpus)]
+        self.cpus = [Cpu(i) for i in range(spec.nr_cpus)]
         self._current_cpu = 0
         self._funcdb = funcdb
         #: the deterministic SMP scheduler while a run is active (see
@@ -76,6 +99,20 @@ class Kernel:
 
         # attachment points (built lazily to avoid an import cycle)
         self._hooks = None
+
+        # declarative post-boot configuration (stats / recovery /
+        # fault schedule) comes last: it needs the subsystems above
+        spec.configure(self)
+
+    @classmethod
+    def from_spec(cls, spec: KernelSpec,
+                  funcdb: Optional[FunctionDatabase] = None,
+                  ) -> "Kernel":
+        """Stamp one kernel from a declarative spec — the fleet's
+        node factory.  Equal specs yield identically-configured
+        kernels (module defaults aside), which is what makes a
+        rollout wave uniform."""
+        return cls(funcdb=funcdb, spec=spec)
 
     @property
     def hooks(self) -> "object":
@@ -149,12 +186,44 @@ class Kernel:
             self.recovery = Supervisor(self, policy=policy)
         return self.recovery
 
-    def soft_reset(self, sources, reason: str) -> int:
+    def soft_reset(self, sources, reason: str,
+                   breakers: bool = True) -> int:
         """Clear the taint attributed to ``sources`` after their fault
         domains were unwound — the scoped replacement for a reboot.
-        Returns how many oopses were marked contained."""
-        return self.log.mark_contained(
+        Returns how many oopses were marked contained.
+
+        With ``breakers`` (the default) the supervisor's circuit
+        breakers for those sources are reset too — half-open trial
+        flags, consecutive-quarantine backoff, the release window —
+        so a node rolled back to a prior release re-enters HEALTHY
+        cleanly instead of inheriting the bad release's open breaker.
+        The supervisor's own containment path passes ``False``: mid-
+        containment the breaker state *is* the health signal and the
+        supervisor manages it itself."""
+        cleared = self.log.mark_contained(
             sources, self.clock.now_ns, reason)
+        if breakers and self.recovery is not None:
+            self.recovery.reset_breakers(sources, reason=reason)
+        self.events.publish(
+            "soft-reset", source="kernel", reason=reason,
+            cleared=cleared, breakers=breakers,
+            sources=tuple(sorted(sources)) if not isinstance(
+                sources, str) else (sources,))
+        return cleared
+
+    def emit_telemetry_snapshot(self) -> "object":
+        """Publish a compact telemetry roll-up on the event stream
+        (the fleet aggregator's per-wave census source); returns the
+        published event."""
+        progs = self.telemetry.progs.rows()
+        return self.events.publish(
+            "telemetry", source="kernel",
+            progs=len(progs),
+            oopses=len(self.log.oopses),
+            contained=self.log.contained_count,
+            tainted=self.log.tainted,
+            panicked=self.log.panicked,
+            clock_ns=self.clock.now_ns)
 
     # -- time / work accounting ---------------------------------------------
 

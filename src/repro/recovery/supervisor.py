@@ -216,6 +216,20 @@ class Supervisor:
 
     # -- health-state machine ------------------------------------------------
 
+    def _set_state(self, record: ProgramHealth,
+                   new_state: HealthState, reason: str) -> None:
+        """The one place health state changes: updates the record and
+        publishes the transition on the kernel event stream, so fleet
+        orchestrators see every canary-relevant move without reading
+        supervisor internals."""
+        old = record.state
+        if old is new_state:
+            return
+        record.state = new_state
+        self.kernel.events.publish(
+            "health", source=record.tag, old=old.value,
+            new=new_state.value, reason=reason)
+
     def _prune_window(self, record: ProgramHealth, now_ns: int) -> None:
         horizon = now_ns - self.policy.window_ns
         while record.fault_log and record.fault_log[0][0] < horizon:
@@ -240,7 +254,8 @@ class Supervisor:
                 f"{self.policy.window_ns}ns ({kind})")
         elif record.state is HealthState.HEALTHY \
                 and in_window >= self.policy.degrade_threshold:
-            record.state = HealthState.DEGRADED
+            self._set_state(record, HealthState.DEGRADED,
+                            reason=f"fault:{kind}")
             self._audit_event("degraded", tag, fault=kind,
                               faults_in_window=in_window)
         return record.state
@@ -253,14 +268,16 @@ class Supervisor:
         self._prune_window(record, now)
         if record.trial:
             record.trial = False
-            record.state = HealthState.HEALTHY
+            self._set_state(record, HealthState.HEALTHY,
+                            reason="trial-success")
             record.consecutive_quarantines = 0
             record.fault_log.clear()
             self._audit_event("recovered", tag,
                               reloads=record.reloads)
         elif record.state is HealthState.DEGRADED \
                 and not record.fault_log:
-            record.state = HealthState.HEALTHY
+            self._set_state(record, HealthState.HEALTHY,
+                            reason="window-empty")
             self._audit_event("healed", tag)
 
     def _quarantine_span_ns(self, record: ProgramHealth) -> int:
@@ -269,7 +286,8 @@ class Supervisor:
             (self.policy.backoff_factor ** exponent)
 
     def _quarantine(self, record: ProgramHealth, reason: str) -> None:
-        record.state = HealthState.QUARANTINED
+        self._set_state(record, HealthState.QUARANTINED,
+                        reason=reason)
         record.trial = False
         record.quarantines += 1
         record.consecutive_quarantines += 1
@@ -284,6 +302,40 @@ class Supervisor:
     def quarantine(self, tag: str, reason: str = "manual") -> None:
         """Operator-initiated quarantine (``bpftool prog quarantine``)."""
         self._quarantine(self.health(tag), reason=reason)
+
+    def reset_breakers(self, sources, reason: str = "soft-reset",
+                       ) -> int:
+        """Reset the circuit breaker for every tag in ``sources``:
+        clear the half-open trial flag, the consecutive-quarantine
+        backoff, the fault window and the release deadline, and put
+        the program back to HEALTHY.  Called by
+        :meth:`~repro.kernel.kernel.Kernel.soft_reset` so a node
+        rolled back to a prior release starts clean — note it does
+        *not* reattach anything quarantine detached; redeploying the
+        program is the caller's job.  Returns how many records were
+        actually reset."""
+        if isinstance(sources, str):
+            sources = (sources,)
+        reset = 0
+        for tag in sorted(set(sources)):
+            record = self._health.get(tag)
+            if record is None:
+                continue
+            dirty = (record.trial or record.fault_log
+                     or record.consecutive_quarantines
+                     or record.release_at_ns is not None
+                     or record.state is not HealthState.HEALTHY)
+            if not dirty:
+                continue
+            record.trial = False
+            record.consecutive_quarantines = 0
+            record.fault_log.clear()
+            record.release_at_ns = None
+            self._set_state(record, HealthState.HEALTHY,
+                            reason=f"breaker-reset ({reason})")
+            self._audit_event("breaker-reset", tag, reason=reason)
+            reset += 1
+        return reset
 
     # -- gate: refusal and half-open ------------------------------------------
 
@@ -314,7 +366,8 @@ class Supervisor:
             self._audit_event("reload-failed", tag,
                               release_at_ns=record.release_at_ns)
             return True
-        record.state = HealthState.DEGRADED
+        self._set_state(record, HealthState.DEGRADED,
+                        reason="half-open")
         record.trial = True
         return False
 
@@ -346,10 +399,13 @@ class Supervisor:
             oops.source for oops in
             self.kernel.log.oopses[domain.oops_mark:]
             if not oops.contained)
+        # breakers=False: mid-containment the breaker state *is* the
+        # health signal — note_fault right after this must see it
         cleared = self.kernel.soft_reset(
             sources,
             reason=f"fault domain unwound "
-                   f"({report.total_actions} actions)")
+                   f"({report.total_actions} actions)",
+            breakers=False)
         category = getattr(exc, "category", type(exc).__name__)
         detail = report.as_dict()
         detail.pop("tag", None)

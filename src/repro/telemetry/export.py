@@ -40,10 +40,20 @@ def _render_labels(names: Tuple[str, ...], values: Tuple[str, ...],
 
 
 def to_prometheus(telemetry: Telemetry) -> str:
-    """The metrics registry in Prometheus text exposition format
-    (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` buckets)."""
+    """One kernel's metrics registry in Prometheus text exposition
+    format (``# HELP`` / ``# TYPE`` headers, cumulative ``le``
+    buckets)."""
+    return registry_to_prometheus(telemetry.registry)
+
+
+def registry_to_prometheus(registry: object) -> str:
+    """Render any :class:`~repro.telemetry.metrics.MetricsRegistry`
+    in Prometheus text exposition format — shared by the per-kernel
+    exporter above and the fleet-wide aggregator
+    (:class:`~repro.fleet.services.aggregate.FleetTelemetry`), so one
+    scrape config consumes both."""
     lines: List[str] = []
-    for family in telemetry.registry.families():
+    for family in registry.families():
         if len(family) == 0:
             continue
         lines.append(f"# HELP {family.name} {family.help_text}")

@@ -24,6 +24,12 @@ Usage (each invocation boots a fresh simulated kernel):
         --budget 32 --seed 0
     python -m repro.tools.bpftool race status rcu_use_after_grace \
         --seed 5
+    python -m repro.tools.bpftool fleet status --nodes 50 --seed 0
+    python -m repro.tools.bpftool fleet rollout --release good \
+        --nodes 200 --seed 7
+    python -m repro.tools.bpftool fleet rollback --nodes 200 --seed 7
+    python -m repro.tools.bpftool fleet halt --after-wave 2 \
+        --nodes 100 --seed 3
 
 The stats/trace commands model ``sysctl kernel.bpf_stats_enabled=1``
 followed by ``bpftool prog show``: the fresh kernel boots with run
@@ -45,6 +51,7 @@ from repro.analysis.bugs import full_bug_table
 from repro.ebpf.asm_text import assemble_text
 from repro.ebpf.bugs import BugConfig
 from repro.ebpf.disasm import disasm
+from repro.ebpf.engine import ENGINE_NAMES
 from repro.ebpf.helpers.registry import build_default_registry
 from repro.ebpf.loader import BpfSubsystem
 from repro.ebpf.progs import ProgType
@@ -53,6 +60,12 @@ from repro.errors import (
     KernelOops,
     KernelSafetyViolation,
     VerifierError,
+)
+from repro.fleet.adapters.cli import (
+    cmd_fleet_halt,
+    cmd_fleet_rollback,
+    cmd_fleet_rollout,
+    cmd_fleet_status,
 )
 from repro.faultinject.plane import (
     KNOWN_SITES,
@@ -716,7 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--patched", action="store_true",
                         help="use a kernel with all modeled bugs fixed")
     common.add_argument("--engine", default=None,
-                        choices=["interp", "fast", "compiled"],
+                        choices=list(ENGINE_NAMES),
                         help="execution tier (default: fast)")
 
     verify = prog_sub.add_parser("verify", parents=[common],
@@ -753,7 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
         "engine", parents=[runnable],
         help="show or pin a program's execution tier")
     prog_engine.add_argument("--set", default=None,
-                             choices=["interp", "fast", "compiled"],
+                             choices=list(ENGINE_NAMES),
                              help="pin the program to this tier")
     prog_engine.set_defaults(func=cmd_prog_engine)
 
@@ -833,7 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use a kernel with all modeled bugs "
                               "fixed")
     net_run.add_argument("--engine", default="compiled",
-                         choices=["interp", "fast", "compiled"],
+                         choices=list(ENGINE_NAMES),
                          help="execution tier (default: compiled)")
     net_run.add_argument("--profile", default="uniform",
                          choices=list(_PROFILE_NOTES),
@@ -901,6 +914,52 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trace tail length (default 24, "
                                   "0 = full trace)")
     race_status.set_defaults(func=cmd_race_status)
+
+    fleet = sub.add_parser(
+        "fleet", help="staged rollouts over a simulated fleet")
+    fleet_sub = fleet.add_subparsers(dest="action", required=True)
+
+    fleety = argparse.ArgumentParser(add_help=False)
+    fleety.add_argument("--nodes", type=int, default=50, metavar="N",
+                        help="fleet size (default 50)")
+    fleety.add_argument("--seed", type=int, default=0,
+                        help="rollout seed (default 0)")
+    fleety.add_argument("--engine", default=None,
+                        choices=list(ENGINE_NAMES),
+                        help="execution tier for every node")
+    fleety.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", parents=[fleety],
+        help="show the release registry and the fleet health census")
+    fleet_status.set_defaults(func=cmd_fleet_status)
+
+    fleet_rollout = fleet_sub.add_parser(
+        "rollout", parents=[fleety],
+        help="stage a release through canary waves")
+    fleet_rollout.add_argument(
+        "--release", default="good",
+        choices=["baseline", "good", "bad"],
+        help="which canonical release to roll out (default good)")
+    fleet_rollout.set_defaults(func=cmd_fleet_rollout)
+
+    fleet_rollback = fleet_sub.add_parser(
+        "rollback", parents=[fleety],
+        help="stage the planted bad release: canary halt + rollback")
+    fleet_rollback.set_defaults(func=cmd_fleet_rollback)
+
+    fleet_halt = fleet_sub.add_parser(
+        "halt", parents=[fleety],
+        help="operator stop after a chosen wave")
+    fleet_halt.add_argument(
+        "--release", default="good",
+        choices=["baseline", "good", "bad"],
+        help="which canonical release to stage (default good)")
+    fleet_halt.add_argument(
+        "--after-wave", type=int, default=1, metavar="K",
+        help="stop after wave K (default 1)")
+    fleet_halt.set_defaults(func=cmd_fleet_halt)
 
     return parser
 

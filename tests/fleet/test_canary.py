@@ -1,0 +1,60 @@
+"""Canary evaluator: census math and the pass/fail threshold."""
+
+import pytest
+
+from repro.fleet import CanaryEvaluator, CanaryPolicy
+
+
+def states(healthy=0, degraded=0, quarantined=0, dead=0):
+    """Build a node->state mapping with the given counts."""
+    mapping = {}
+    for state, count in (("healthy", healthy), ("degraded", degraded),
+                         ("quarantined", quarantined), ("dead", dead)):
+        for i in range(count):
+            mapping[f"{state}-{i}"] = state
+    return mapping
+
+
+class TestVerdict:
+    def test_all_healthy_passes(self):
+        verdict = CanaryEvaluator().evaluate(1, states(healthy=20))
+        assert verdict.passed
+        assert verdict.unhealthy == 0
+        assert dict(verdict.census)["healthy"] == 20
+
+    def test_unhealthy_over_threshold_fails(self):
+        verdict = CanaryEvaluator().evaluate(
+            1, states(healthy=18, quarantined=2))  # 10% > 5%
+        assert not verdict.passed
+        assert verdict.unhealthy == 2
+        assert verdict.unhealthy_fraction == pytest.approx(0.1)
+
+    def test_threshold_is_inclusive(self):
+        policy = CanaryPolicy(max_unhealthy_fraction=0.10)
+        verdict = CanaryEvaluator(policy).evaluate(
+            1, states(healthy=18, degraded=2))  # exactly 10%
+        assert verdict.passed
+
+    def test_every_unhealthy_state_counts(self):
+        verdict = CanaryEvaluator().evaluate(
+            1, {"a": "degraded", "b": "quarantined", "c": "dead",
+                "d": "deploy-failed"})
+        assert verdict.unhealthy == 4
+        assert not verdict.passed
+
+    def test_census_has_fixed_shape(self):
+        """Zero-count states are present: the export's census rows
+        all have the same columns."""
+        verdict = CanaryEvaluator().evaluate(1, states(healthy=3))
+        assert [s for s, _ in verdict.census] == [
+            "healthy", "degraded", "quarantined", "deploy-failed",
+            "dead"]
+
+    def test_unknown_state_is_loud(self):
+        with pytest.raises(ValueError, match="unknown health state"):
+            CanaryEvaluator().evaluate(1, {"n": "confused"})
+
+    def test_empty_wave_passes_vacuously(self):
+        verdict = CanaryEvaluator().evaluate(1, {})
+        assert verdict.passed
+        assert verdict.unhealthy_fraction == 0.0

@@ -1,0 +1,66 @@
+"""Rollout planner: wave shapes, coverage, seeded determinism."""
+
+import pytest
+
+from repro.fleet import RolloutPlanner
+
+
+def ids(n):
+    """n synthetic node ids."""
+    return [f"node-{i:03d}" for i in range(n)]
+
+
+class TestPlanShape:
+    def test_default_waves_cover_fleet_exactly_once(self):
+        waves = RolloutPlanner().plan(ids(200), seed=1)
+        seen = [n for w in waves for n in w.node_ids]
+        assert sorted(seen) == ids(200)
+        assert len(seen) == len(set(seen))
+
+    def test_default_fractions_give_canonical_sizes(self):
+        waves = RolloutPlanner().plan(ids(200), seed=1)
+        assert [len(w.node_ids) for w in waves] == [2, 18, 80, 100]
+        assert [w.fraction for w in waves] == [0.01, 0.10, 0.50, 1.0]
+
+    def test_small_fleet_still_gets_a_canary_wave(self):
+        waves = RolloutPlanner().plan(ids(8), seed=0)
+        assert len(waves[0].node_ids) == 1  # every wave >= 1 node
+        assert sum(len(w.node_ids) for w in waves) == 8
+
+    def test_single_node_fleet_is_one_wave(self):
+        waves = RolloutPlanner().plan(ids(1), seed=0)
+        assert len(waves) == 1
+        assert waves[0].node_ids == ("node-000",)
+
+    def test_empty_fleet_refused(self):
+        with pytest.raises(ValueError, match="zero nodes"):
+            RolloutPlanner().plan([], seed=0)
+
+
+class TestValidation:
+    def test_fractions_must_end_at_one(self):
+        with pytest.raises(ValueError, match="end at 1.0"):
+            RolloutPlanner(fractions=(0.01, 0.5))
+
+    def test_fractions_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RolloutPlanner(fractions=(0.5, 0.1, 1.0))
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        a = RolloutPlanner().plan(ids(100), seed=42)
+        b = RolloutPlanner().plan(ids(100), seed=42)
+        assert [w.node_ids for w in a] == [w.node_ids for w in b]
+
+    def test_different_seed_different_assignment(self):
+        a = RolloutPlanner().plan(ids(100), seed=42)
+        b = RolloutPlanner().plan(ids(100), seed=43)
+        assert [w.node_ids for w in a] != [w.node_ids for w in b]
+
+    def test_input_order_is_irrelevant(self):
+        """The plan is a function of the node *set*, not the order
+        the port happened to list it in."""
+        a = RolloutPlanner().plan(ids(50), seed=7)
+        b = RolloutPlanner().plan(list(reversed(ids(50))), seed=7)
+        assert [w.node_ids for w in a] == [w.node_ids for w in b]
