@@ -2,7 +2,7 @@
 # Beyond `make test`: `make coverage` for a line-coverage gate and
 # `make chaos` for the fault-injection corpus replay.
 
-.PHONY: test bench bench-net bench-all coverage chaos recover race fleet
+.PHONY: test bench bench-net bench-all coverage chaos recover race fleet fleet-chaos
 
 # Tier-1 suite (must stay green).
 test:
@@ -50,6 +50,17 @@ fleet:
 	PYTHONPATH=src python -m repro.fleet.demo \
 		--nodes $(or $(FLEET_NODES),200) \
 		--seed $(or $(FLEET_SEED),7)
+
+# Fleet under fire: both canonical releases rolled out under every
+# control-channel chaos schedule (drops, dups, delays past the RPC
+# deadline, partitions, crashing node agents), plus a crash/resume
+# leg per pair — the orchestrator is killed at journal-append
+# boundaries and resumed until the rollout lands, and the resumed
+# report signature must be bit-identical to the uninterrupted run's.
+# Runs twice to prove the whole harness is a pure function of the
+# seed.  REPRO_FLEET_SMOKE=1 shrinks the fleet and schedules for CI.
+fleet-chaos:
+	PYTHONPATH=src python -m repro.fleet.chaos --check-determinism
 
 # Interpreter/load-cache throughput plus telemetry overhead. Writes
 # BENCH_throughput.json (fast-path speedup ratio gated at 80% of

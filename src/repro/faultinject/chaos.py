@@ -59,6 +59,7 @@ from repro.faultinject.plane import (
     ENOENT,
     ENOMEM,
     ENOSPC,
+    ETIMEDOUT,
     FaultAction,
     FaultPlane,
     NthHit,
@@ -122,6 +123,83 @@ SCHEDULES: Dict[str, Callable[[FaultPlane], None]] = {
     "timer-chaos": _arm_timer_chaos,
     "load-chaos": _arm_load_chaos,
     "rx-pressure": _arm_rx_pressure,
+}
+
+
+# -- control-plane schedules (the fleet's unreliable RPC channel) -----------
+
+def _arm_rpc_drops(plane: FaultPlane) -> None:
+    """A lossy wire: requests and replies vanish.  A dropped reply is
+    the sharp case — the node applied the request, so only the reply
+    cache keeps the retry from double-applying."""
+    plane.arm("fleet.rpc.send.*", Probability(0.15),
+              FaultAction.err(ETIMEDOUT))
+    plane.arm("fleet.rpc.reply.*", Probability(0.10),
+              FaultAction.err(ETIMEDOUT))
+
+
+def _arm_rpc_dups(plane: FaultPlane) -> None:
+    """A stuttering wire: requests arrive twice, some replies are
+    lost anyway — idempotency under duplication *and* retry."""
+    plane.arm("fleet.rpc.send.*", Probability(0.20), FaultAction.dup())
+    plane.arm("fleet.rpc.reply.*", Probability(0.10),
+              FaultAction.err(ETIMEDOUT))
+
+
+def _arm_slow_wire(plane: FaultPlane) -> None:
+    """A congested wire: some hops are slow, some so slow the client
+    gives up while the request still lands (timed-out-but-applied —
+    the request id dedup is what makes the retry safe)."""
+    plane.arm("fleet.rpc.send.*", Probability(0.10),
+              FaultAction.delay(1_500_000))
+    plane.arm("fleet.rpc.send.*", Probability(0.15),
+              FaultAction.delay(100_000))
+    plane.arm("fleet.rpc.reply.*", Probability(0.05),
+              FaultAction.err(ETIMEDOUT))
+
+
+def _arm_partitions(plane: FaultPlane) -> None:
+    """Flapping partitions: links cut both ways for a while, then
+    heal when the schedule stops firing."""
+    plane.arm("fleet.partition.*", Probability(0.12),
+              FaultAction.err(ETIMEDOUT))
+
+
+def _arm_node_crashes(plane: FaultPlane) -> None:
+    """Crashing node agents: the in-flight request dies with the
+    agent and the node stays down for the reboot window."""
+    plane.arm("fleet.node.crash.*", Probability(0.06),
+              FaultAction.panic())
+    plane.arm("fleet.rpc.reply.*", Probability(0.05),
+              FaultAction.err(ETIMEDOUT))
+
+
+def _arm_fleet_pressure(plane: FaultPlane) -> None:
+    """Everything at once: drops, dups, delays past the deadline,
+    partitions and agent crashes on the same rollout."""
+    plane.arm("fleet.partition.*", Probability(0.05),
+              FaultAction.err(ETIMEDOUT))
+    plane.arm("fleet.node.crash.*", Probability(0.03),
+              FaultAction.panic())
+    plane.arm("fleet.rpc.send.*", Probability(0.08),
+              FaultAction.err(ETIMEDOUT))
+    plane.arm("fleet.rpc.send.*", Probability(0.08), FaultAction.dup())
+    plane.arm("fleet.rpc.send.*", Probability(0.05),
+              FaultAction.delay(1_500_000))
+    plane.arm("fleet.rpc.reply.*", Probability(0.08),
+              FaultAction.err(ETIMEDOUT))
+
+
+#: the canned control-plane schedules ``make fleet-chaos`` replays
+#: (name -> armer for the *transport's* fault plane — node kernels
+#: keep their own planes and their own chaos)
+FLEET_SCHEDULES: Dict[str, Callable[[FaultPlane], None]] = {
+    "rpc-drops": _arm_rpc_drops,
+    "rpc-dups": _arm_rpc_dups,
+    "slow-wire": _arm_slow_wire,
+    "partitions": _arm_partitions,
+    "node-crashes": _arm_node_crashes,
+    "fleet-pressure": _arm_fleet_pressure,
 }
 
 

@@ -33,19 +33,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 # errno numbers (sites return the *negative* value, kernel-style)
 ENOENT = 2
+EIO = 5
 E2BIG = 7
+EAGAIN = 11
 ENOMEM = 12
 EFAULT = 14
 EINVAL = 22
 ENOSPC = 28
+ETIMEDOUT = 110
 
 ERRNO_NAMES: Dict[str, int] = {
     "ENOENT": ENOENT,
+    "EIO": EIO,
     "E2BIG": E2BIG,
+    "EAGAIN": EAGAIN,
     "ENOMEM": ENOMEM,
     "EFAULT": EFAULT,
     "EINVAL": EINVAL,
     "ENOSPC": ENOSPC,
+    "ETIMEDOUT": ETIMEDOUT,
 }
 
 #: the failpoints wired into the simulation, for ``bpftool fault list``
@@ -82,6 +88,28 @@ KNOWN_SITES: Dict[str, str] = {
         "devmap redirect resolution after an XDP_REDIRECT verdict; "
         "errno makes the target NIC unreachable "
         "(rx_drops reason=redirect_gone)"),
+    "fleet.rpc.send.<node>": (
+        "control-channel request delivery to one fleet node; errno "
+        "drops the request on the wire, delay models a slow hop "
+        "(past the RPC deadline the request still lands but the "
+        "client has given up), dup delivers the request twice"),
+    "fleet.rpc.reply.<node>": (
+        "control-channel reply delivery from one fleet node; errno "
+        "drops the reply after the node applied the request (the "
+        "case idempotent retries exist for), delay/dup as for send"),
+    "fleet.node.crash.<node>": (
+        "fleet node agent crash; panic loses the in-flight request "
+        "and takes the node down for the policy's reboot span on "
+        "the control clock"),
+    "fleet.partition.<node>": (
+        "network partition between the orchestrator and one node; "
+        "any action cuts both directions for this delivery attempt "
+        "(the partition heals when its schedule stops firing)"),
+    "fleet.orch.crash": (
+        "rollout orchestrator crash, checked after every journal "
+        "append; panic kills the rollout mid-flight — "
+        "RolloutOrchestrator.resume() picks it back up from the "
+        "write-ahead journal"),
 }
 
 
@@ -90,8 +118,11 @@ class FaultAction:
     """What to do when a schedule fires.
 
     ``kind`` is one of ``"errno"`` (site fails with ``-errno``),
-    ``"panic"`` (site takes the official panic path) or ``"delay"``
-    (``delay_ns`` virtual nanoseconds pass before the site proceeds).
+    ``"panic"`` (site takes the official panic path), ``"delay"``
+    (``delay_ns`` virtual nanoseconds pass before the site proceeds)
+    or ``"dup"`` (the site's operation is performed twice — only
+    meaningful at sites modeling a delivery, e.g. the fleet control
+    channel; sites without a duplication semantic ignore it).
     """
 
     kind: str
@@ -99,7 +130,7 @@ class FaultAction:
     delay_ns: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("errno", "panic", "delay"):
+        if self.kind not in ("errno", "panic", "delay", "dup"):
             raise ValueError(f"unknown fault action kind {self.kind!r}")
         if self.kind == "errno" and self.errno <= 0:
             raise ValueError("errno action needs a positive errno")
@@ -121,6 +152,11 @@ class FaultAction:
         """Stall the site for ``delay_ns`` virtual nanoseconds."""
         return FaultAction("delay", delay_ns=delay_ns)
 
+    @staticmethod
+    def dup() -> "FaultAction":
+        """Perform the site's delivery twice."""
+        return FaultAction("dup")
+
     def describe(self) -> str:
         """Human-readable form (``errno:ENOMEM``, ``delay:5000``)."""
         if self.kind == "errno":
@@ -130,7 +166,7 @@ class FaultAction:
             return f"errno:{self.errno}"
         if self.kind == "delay":
             return f"delay:{self.delay_ns}"
-        return "panic"
+        return self.kind
 
 
 class Schedule:
@@ -380,11 +416,13 @@ class FaultPlane:
 # -- CLI parsing helpers (shared by bpftool and the chaos harness) ----------
 
 def parse_action(text: str) -> FaultAction:
-    """Parse ``errno:ENOMEM`` / ``errno:22`` / ``panic`` /
+    """Parse ``errno:ENOMEM`` / ``errno:22`` / ``panic`` / ``dup`` /
     ``delay:5000`` into a :class:`FaultAction`."""
     kind, _, arg = text.partition(":")
     if kind == "panic":
         return FaultAction.panic()
+    if kind == "dup":
+        return FaultAction.dup()
     if kind == "errno":
         num = ERRNO_NAMES.get(arg.upper())
         if num is None:

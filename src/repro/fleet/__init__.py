@@ -25,13 +25,32 @@ models that control plane over hundreds of simulated kernels:
   :class:`~repro.kernel.kernel.Kernel` instances stamped from one
   :class:`~repro.kernel.spec.KernelSpec`) and the ``bpftool fleet``
   CLI adapter.
+* :mod:`repro.fleet.transport` — the unreliable control channel:
+  every orchestrator→node operation travels as an
+  :class:`~repro.fleet.transport.RpcRequest` through
+  :class:`~repro.fleet.transport.FleetTransport`, where seeded
+  failpoints drop, delay, duplicate or partition it and the client
+  retries with exponential backoff; nodes the channel cannot raise
+  land in the ``unreachable`` census state.
+* :mod:`repro.fleet.journal` — the rollout write-ahead journal
+  (:class:`~repro.fleet.journal.MemoryJournal`,
+  :class:`~repro.fleet.journal.FileJournal`):
+  ``RolloutOrchestrator.resume()`` replays a crashed rollout's
+  journaled prefix and drives the remainder live.
 
 Determinism is the contract throughout: the same (release, seed,
 fault schedule) yields a bit-identical rollout log and final health
-census, pinned by a SHA-256 signature over the wave log.
+census, pinned by a SHA-256 signature over the wave log — whether the
+rollout ran straight through or crashed and resumed.
 """
 
 from repro.fleet.ports import DeployResult, FleetPort, NODE_STATES
+from repro.fleet.journal import (
+    FileJournal,
+    MemoryJournal,
+    OrchestratorCrash,
+    RolloutJournal,
+)
 from repro.fleet.services.aggregate import FleetTelemetry
 from repro.fleet.services.canary import (
     CanaryEvaluator,
@@ -39,12 +58,19 @@ from repro.fleet.services.canary import (
     CanaryVerdict,
 )
 from repro.fleet.services.orchestrator import (
+    ResumeDiverged,
     RolloutEntry,
     RolloutOrchestrator,
     RolloutReport,
 )
 from repro.fleet.services.planner import RolloutPlanner, Wave
 from repro.fleet.services.registry import Release, ReleaseRegistry
+from repro.fleet.transport import (
+    FleetTransport,
+    RetryPolicy,
+    RpcOutcome,
+    RpcRequest,
+)
 from repro.fleet.adapters.node import FleetNode
 from repro.fleet.adapters.sim import SimFleet
 
@@ -53,16 +79,25 @@ __all__ = [
     "CanaryPolicy",
     "CanaryVerdict",
     "DeployResult",
+    "FileJournal",
     "FleetNode",
     "FleetPort",
     "FleetTelemetry",
+    "FleetTransport",
+    "MemoryJournal",
     "NODE_STATES",
+    "OrchestratorCrash",
     "Release",
     "ReleaseRegistry",
+    "ResumeDiverged",
+    "RetryPolicy",
     "RolloutEntry",
+    "RolloutJournal",
     "RolloutOrchestrator",
     "RolloutPlanner",
     "RolloutReport",
+    "RpcOutcome",
+    "RpcRequest",
     "SimFleet",
     "Wave",
 ]

@@ -9,6 +9,10 @@ service API the demo and the tests use:
 * ``fleet rollout``  — stage a release through canary waves
 * ``fleet rollback`` — the planted bad release: halt + auto-rollback
 * ``fleet halt``     — operator stop after a chosen wave
+* ``fleet resume``   — kill the orchestrator mid-rollout (armed
+  ``fleet.orch.crash``), resume a **fresh** orchestrator from the
+  on-disk write-ahead journal, and prove the finished report is
+  bit-identical to an uninterrupted run
 
 Output is text by default, ``--json`` for tooling; both are
 deterministic under ``--seed``.
@@ -17,9 +21,15 @@ deterministic under ``--seed``.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Dict
 
+from repro.faultinject.chaos import FLEET_SCHEDULES
+from repro.faultinject.plane import FaultAction, NthHit
 from repro.fleet.adapters.sim import FleetScenario, build_scenario
+from repro.fleet.journal import FileJournal, OrchestratorCrash
+from repro.fleet.services.orchestrator import RolloutOrchestrator
 
 
 def _scenario(args: object) -> FleetScenario:
@@ -107,6 +117,83 @@ def cmd_fleet_rollback(args: object) -> int:
               f"{first.outcome} ({first.converged_nodes} nodes)")
     _print_report(scenario, report, args.json)
     return 0 if report.outcome == "rolled-back" else 1
+
+
+def cmd_fleet_resume(args: object) -> int:
+    """``bpftool fleet resume``: the durability demonstration.
+
+    Runs the rollout twice under the same seed (and optional channel
+    chaos): once uninterrupted for the reference signature, once with
+    ``fleet.orch.crash`` armed to kill the orchestrator every
+    ``--crash-after`` journal appends.  After each crash a **new**
+    orchestrator object is built over the surviving fleet and the
+    journal is re-read from disk — the dead control plane shares no
+    Python state with its successor beyond the journal file and the
+    world it already mutated.  Exit 0 iff the resumed report's
+    signature is bit-identical to the uninterrupted one."""
+    reference = _scenario(args)
+    scenario = _scenario(args)
+    if args.chaos:
+        FLEET_SCHEDULES[args.chaos](reference.transport.plane)
+        FLEET_SCHEDULES[args.chaos](scenario.transport.plane)
+    release = _pick_release(reference, args.release)
+    baseline = reference.orchestrator.rollout(release.release_id,
+                                              seed=args.seed)
+    path = args.journal
+    if path is None:
+        handle = tempfile.NamedTemporaryFile(
+            prefix="fleet-journal-", suffix=".jsonl", delete=False)
+        handle.close()
+        path = handle.name
+    if os.path.exists(path):
+        os.remove(path)  # a stale journal is not this rollout's
+    scenario.transport.plane.arm(
+        "fleet.orch.crash", NthHit(args.crash_after, every=True),
+        FaultAction.panic())
+    release = _pick_release(scenario, args.release)
+    report = None
+    crashes = 0
+    orchestrator = scenario.orchestrator
+    while report is None:
+        try:
+            if crashes == 0:
+                report = orchestrator.rollout(
+                    release.release_id, seed=args.seed,
+                    journal=FileJournal(path))
+            else:
+                report = orchestrator.resume(FileJournal(path))
+        except OrchestratorCrash as crash:
+            crashes += 1
+            if crashes > 500:
+                raise RuntimeError("crash/resume never converged")
+            if not args.json:
+                print(f"# crash {crashes}: {crash}")
+            # the control plane died: its successor shares only the
+            # journal file and the fleet it already acted on
+            orchestrator = RolloutOrchestrator(
+                scenario.fleet, scenario.registry,
+                telemetry=scenario.telemetry,
+                transport=scenario.transport)
+    match = report.signature() == baseline.signature()
+    if args.json:
+        body = report.as_dict()
+        body["crashes"] = crashes
+        body["journal"] = path
+        body["journal_records"] = len(FileJournal(path).records())
+        body["reference_signature"] = baseline.signature()
+        body["signature_match"] = match
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print(f"# journal: {path} "
+              f"({len(FileJournal(path).records())} records, "
+              f"{crashes} crashes survived)")
+        print(f"# uninterrupted signature: {baseline.signature()}")
+        print(f"# resumed signature:       {report.signature()}")
+        print(f"# bit-identical: {'yes' if match else 'NO'}")
+    if args.journal is None:
+        os.remove(path)
+    return 0 if match and crashes > 0 else 1
 
 
 def cmd_fleet_halt(args: object) -> int:

@@ -48,6 +48,9 @@ class FleetNode:
         #: the rollback target (the release ``current`` replaced)
         self.previous: Optional[object] = None
         self.deploy_failed = False
+        #: set by :meth:`quarantine` (the orchestrator parking a node
+        #: stuck mid-rollback); cleared by the next successful deploy
+        self.operator_quarantined = False
         self._health = "healthy"
         self.kernel.events.subscribe(self._on_health,
                                      kinds=("health",))
@@ -107,6 +110,7 @@ class FleetNode:
             self.previous = self.current
         self.current = release
         self.deploy_failed = False
+        self.operator_quarantined = False
         self._health = "healthy"
         return DeployResult(self.node_id, release.release_id, ok=True)
 
@@ -137,6 +141,20 @@ class FleetNode:
         self.previous = None
         return target.release_id
 
+    def quarantine(self, reason: str) -> bool:
+        """Park this node: mark the agent operator-quarantined (census
+        reports ``quarantined`` until a later deploy clears it) and,
+        when the kernel is still alive, quarantine the running
+        release's breaker through the supervisor so the program stops
+        executing too."""
+        self.operator_quarantined = True
+        if self.kernel.recovery is not None \
+                and self.current is not None \
+                and not self.kernel.log.panicked:
+            self.kernel.recovery.quarantine(
+                self._tag(self.current), reason=reason)
+        return True
+
     # -- observation ----------------------------------------------------------
 
     def soak(self, runs: int) -> None:
@@ -150,6 +168,8 @@ class FleetNode:
         :data:`~repro.fleet.ports.NODE_STATES`)."""
         if self.kernel.log.panicked or self.kernel.log.tainted:
             return "dead"
+        if self.operator_quarantined:
+            return "quarantined"
         if self.deploy_failed:
             return "deploy-failed"
         return self._health

@@ -34,6 +34,7 @@ from repro.fleet.ports import DeployResult, FleetPort
 from repro.fleet.services.aggregate import FleetTelemetry
 from repro.fleet.services.orchestrator import RolloutOrchestrator
 from repro.fleet.services.registry import Release, ReleaseRegistry
+from repro.fleet.transport import FleetTransport, RetryPolicy
 from repro.kernel import KernelSpec
 from repro.net.programs import XDP_PASS, pass_all_prog, port_filter_prog
 
@@ -122,6 +123,11 @@ class SimFleet(FleetPort):
         """Restore one node's previous release."""
         return self._node(node_id).rollback()
 
+    def quarantine(self, node_id: str, reason: str) -> bool:
+        """Park one node (stuck mid-rollback: quarantined, not
+        forgotten)."""
+        return self._node(node_id).quarantine(reason)
+
     def soak(self, node_id: str, runs: int) -> None:
         """Drive canonical soak traffic through one node."""
         self._node(node_id).soak(runs)
@@ -159,14 +165,20 @@ class FleetScenario:
     baseline: Release
     good: Release
     bad: Release
+    #: the control channel (arm chaos on ``transport.plane``)
+    transport: FleetTransport
 
 
 def build_scenario(size: int, seed: int,
-                   engine: Optional[object] = None) -> FleetScenario:
+                   engine: Optional[object] = None,
+                   retry_policy: Optional[RetryPolicy] = None,
+                   ) -> FleetScenario:
     """Assemble the canonical fleet: publish the three releases,
     stamp the fleet from :func:`default_fleet_spec`, preinstall the
-    baseline, attach the telemetry aggregator, wire the
-    orchestrator."""
+    baseline, attach the telemetry aggregator, wire the control
+    channel and the orchestrator.  The transport's fault plane is
+    seeded and enabled (but unarmed — arm a schedule on
+    ``scenario.transport.plane`` to put the channel under fire)."""
     registry = ReleaseRegistry()
     baseline = registry.publish(EXTENSION, "1.0.0",
                                 pass_all_prog(), ProgType.XDP)
@@ -179,8 +191,12 @@ def build_scenario(size: int, seed: int,
     fleet.preinstall(baseline)
     telemetry = FleetTelemetry()
     telemetry.observe(fleet)
+    transport = FleetTransport(fleet, policy=retry_policy, seed=seed)
+    transport.plane.enable(seed)
     orchestrator = RolloutOrchestrator(fleet, registry,
-                                       telemetry=telemetry)
+                                       telemetry=telemetry,
+                                       transport=transport)
     return FleetScenario(
         fleet=fleet, registry=registry, orchestrator=orchestrator,
-        telemetry=telemetry, baseline=baseline, good=good, bad=bad)
+        telemetry=telemetry, baseline=baseline, good=good, bad=bad,
+        transport=transport)

@@ -1,0 +1,172 @@
+"""The rollout write-ahead journal: crash-resumable control plane.
+
+Every decision the orchestrator makes (a :class:`RolloutEntry`) and
+every RPC result it acts on (an *op*) is appended here before the
+rollout moves on.  Kill the orchestrator at any append boundary —
+``fleet.orch.crash`` does exactly that — and
+``RolloutOrchestrator.resume()`` reloads the journal, replays the
+recorded prefix without touching the fleet (journaled ops return their
+recorded results; journaled entries are re-emitted, not re-journaled),
+and drives the remainder live.  Because every side effect is journaled
+immediately after it completes and the crash fires *at* the append,
+there is never a performed-but-unrecorded operation: the resumed run
+continues from exactly the first un-journaled op, the control channel's
+RNG and clock pick up where they stopped, and the finished
+``RolloutReport.signature()`` is bit-identical to an uninterrupted run
+under the same seed.
+
+Two implementations: :class:`MemoryJournal` (tests, chaos harness) and
+:class:`FileJournal` (JSONL on disk — ``bpftool fleet resume`` reloads
+one from a path, proving the resumed orchestrator shares no Python
+state with the dead one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class OrchestratorCrash(RuntimeError):
+    """The injected orchestrator death (``fleet.orch.crash``).  Raised
+    *after* the triggering journal append is durable, so the journal
+    is always a consistent prefix of the rollout."""
+
+    def __init__(self, appended: int) -> None:
+        super().__init__(
+            f"orchestrator crashed after journal record {appended}")
+        #: how many records were durable when the crash hit
+        self.appended = appended
+
+
+class RolloutJournal:
+    """Append-only rollout journal (see module docstring).
+
+    Record vocabulary (every record is a JSON-able dict with ``kind``):
+
+    * ``header`` — one per journal: release id, seed, halt_after.
+    * ``entry``  — one :class:`RolloutEntry` (seq, entry kind, wave,
+      detail pairs); the report log and its signature are built from
+      exactly these.
+    * ``op``     — one completed RPC: deterministic op key plus the
+      :class:`~repro.fleet.transport.RpcOutcome` dict and its decoded
+      return value.
+
+    A journal whose last entry record has entry-kind ``done`` is
+    complete; anything else is resumable.
+    """
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Make one record durable (subclass hook)."""
+        raise NotImplementedError
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every record, in append order (subclass hook)."""
+        raise NotImplementedError
+
+    # -- typed appends ------------------------------------------------------
+
+    def append_header(self, release_id: str, seed: int,
+                      halt_after: Optional[int],
+                      rollout: int = 1) -> None:
+        """Journal the rollout's identity before anything else.
+        ``rollout`` is the orchestrator's rollout ordinal — it scopes
+        every request id, so two rollouts over the same transport can
+        never collide in the nodes' reply caches."""
+        self.append({"kind": "header", "release": release_id,
+                     "seed": seed, "halt_after": halt_after,
+                     "rollout": rollout})
+
+    def append_entry(self, seq: int, entry_kind: str, wave: int,
+                     detail: List[List[object]]) -> None:
+        """Journal one rollout-log entry."""
+        self.append({"kind": "entry", "seq": seq,
+                     "entry_kind": entry_kind, "wave": wave,
+                     "detail": detail})
+
+    def append_op(self, key: str, outcome: Dict[str, object],
+                  value: object) -> None:
+        """Journal one completed RPC and its (JSON-able) value."""
+        self.append({"kind": "op", "key": key, "outcome": outcome,
+                     "value": value})
+
+    # -- typed reads --------------------------------------------------------
+
+    def header(self) -> Optional[Dict[str, object]]:
+        """The header record, or None for an empty journal."""
+        for record in self.records():
+            if record["kind"] == "header":
+                return record
+        return None
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Every journaled rollout-log entry, in seq order."""
+        return [r for r in self.records() if r["kind"] == "entry"]
+
+    def ops(self) -> Dict[str, Dict[str, object]]:
+        """Journaled op records, keyed by their deterministic op key."""
+        return {r["key"]: r for r in self.records()
+                if r["kind"] == "op"}
+
+    def complete(self) -> bool:
+        """True when the journaled rollout reached a terminal state."""
+        entries = self.entries()
+        return bool(entries) and entries[-1]["entry_kind"] == "done"
+
+    def describe(self) -> str:
+        """One status line for the CLI."""
+        header = self.header()
+        if header is None:
+            return "journal: empty"
+        entries = self.entries()
+        state = "complete" if self.complete() else "in-progress"
+        return (f"journal: {header['release']} seed={header['seed']} "
+                f"{state} entries={len(entries)} "
+                f"ops={len(self.ops())}")
+
+
+class MemoryJournal(RolloutJournal):
+    """The in-process journal (tests and the chaos harness)."""
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, object]] = []
+
+    def append(self, record: Dict[str, object]) -> None:
+        """See :meth:`RolloutJournal.append`."""
+        self._records.append(record)
+
+    def records(self) -> List[Dict[str, object]]:
+        """See :meth:`RolloutJournal.records`."""
+        return list(self._records)
+
+
+class FileJournal(RolloutJournal):
+    """JSONL-on-disk journal: each append is written, flushed and
+    fsync'd before the rollout proceeds — the write-ahead discipline
+    a real orchestrator would need to survive its host dying."""
+
+    def __init__(self, path: str) -> None:
+        """Open (or create) the journal at ``path``; existing records
+        are loaded, so constructing one on a crashed rollout's path is
+        how resume finds its history."""
+        self.path = path
+        self._records: List[Dict[str, object]] = []
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        self._records.append(json.loads(line))
+
+    def append(self, record: Dict[str, object]) -> None:
+        """See :meth:`RolloutJournal.append` (durable before return)."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records.append(record)
+
+    def records(self) -> List[Dict[str, object]]:
+        """See :meth:`RolloutJournal.records`."""
+        return list(self._records)

@@ -17,11 +17,19 @@ from typing import Callable, Dict, List, Optional, Tuple
 #: ``healthy``/``degraded``/``quarantined`` mirror the supervisor's
 #: :class:`~repro.recovery.supervisor.HealthState`; ``deploy-failed``
 #: marks a node that refused or failed the release (bad signature,
-#: verifier rejection); ``dead`` marks a panicked or tainted kernel.
+#: verifier rejection); ``unreachable`` marks a node the control
+#: channel could not raise within its retry budget (a *transport*
+#: verdict the orchestrator assigns — the node itself may be fine on
+#: the far side of a partition); ``dead`` marks a panicked or tainted
+#: kernel.
 NODE_STATES: Tuple[str, ...] = (
-    "healthy", "degraded", "quarantined", "deploy-failed", "dead")
+    "healthy", "degraded", "quarantined", "deploy-failed",
+    "unreachable", "dead")
 
-#: census states the canary counts against a release
+#: census states the canary counts against a release's *health*;
+#: ``unreachable`` is deliberately not here — it counts against the
+#: wave's separate unreachable budget (you cannot blame a release for
+#: a partition, but you also cannot certify a wave you cannot see)
 UNHEALTHY_STATES: Tuple[str, ...] = (
     "degraded", "quarantined", "deploy-failed", "dead")
 
@@ -67,6 +75,15 @@ class FleetPort:
         """Revert one node to the release it ran before the current
         one; returns the restored release id, or None when the node
         has nothing to roll back to (or is dead)."""
+        raise NotImplementedError
+
+    def quarantine(self, node_id: str, reason: str) -> bool:
+        """Park one node: quarantine its running release's breaker via
+        the node's supervisor and mark the node agent quarantined (its
+        census reports ``quarantined`` until the operator intervenes).
+        The orchestrator uses this for nodes stuck mid-rollback —
+        quarantined, not forgotten.  Returns True when the node
+        acknowledged."""
         raise NotImplementedError
 
     def soak(self, node_id: str, runs: int) -> None:

@@ -46,6 +46,15 @@ class FleetTelemetry:
         self._rollbacks = self.registry.counter(
             "repro_fleet_rollbacks_total",
             "nodes rolled back to a prior release")
+        self._rpc_retries = self.registry.counter(
+            "repro_fleet_rpc_retries_total",
+            "control-channel delivery retries across rollouts")
+        self._rpc_unreachable = self.registry.counter(
+            "repro_fleet_rpc_unreachable_total",
+            "logical RPCs that exhausted their retry budget")
+        self._resumes = self.registry.counter(
+            "repro_fleet_rollout_resumes_total",
+            "rollouts resumed from a write-ahead journal")
         self._fleet_size = self.registry.gauge(
             "repro_fleet_nodes", "nodes under observation")
         #: per-wave census dicts, in rollout order (the JSON export's
@@ -95,6 +104,18 @@ class FleetTelemetry:
         """Fold a finished rollout's outcome into the export."""
         self._rollouts.labels(report.outcome).inc()
         self.rollouts.append(report.summary())
+
+    def record_transport(self, retries: int,
+                         unreachable: int) -> None:
+        """Fold one rollout's control-channel accounting in."""
+        if retries:
+            self._rpc_retries.labels().inc(retries)
+        if unreachable:
+            self._rpc_unreachable.labels().inc(unreachable)
+
+    def record_resume(self) -> None:
+        """Count one journal resume of an unfinished rollout."""
+        self._resumes.labels().inc()
 
     # -- exports ---------------------------------------------------------------
 

@@ -28,6 +28,11 @@ class CanaryPolicy:
     #: the census is taken — enough for the circuit breaker to reach
     #: QUARANTINED (quarantine_threshold faults) on a bad release
     soak_runs: int = 4
+    #: fraction of a wave's nodes the control channel may fail to
+    #: raise before the wave fails anyway — a wave the orchestrator
+    #: cannot *see* must not be certified on the health of the nodes
+    #: it can (the unreachable budget)
+    max_unreachable_fraction: float = 0.10
 
 
 @dataclass(frozen=True)
@@ -45,11 +50,20 @@ class CanaryVerdict:
     total: int
     #: whether the rollout may continue
     passed: bool
+    #: nodes the control channel could not raise (their census state
+    #: is ``unreachable``); judged against the separate unreachable
+    #: budget
+    unreachable: int = 0
 
     @property
     def unhealthy_fraction(self) -> float:
         """Unhealthy nodes over wave size (0.0 for an empty wave)."""
         return self.unhealthy / self.total if self.total else 0.0
+
+    @property
+    def unreachable_fraction(self) -> float:
+        """Unreachable nodes over wave size (0.0 for an empty wave)."""
+        return self.unreachable / self.total if self.total else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-able form for the rollout log and telemetry export."""
@@ -57,8 +71,11 @@ class CanaryVerdict:
             "wave": self.wave_index,
             "census": dict(self.census),
             "unhealthy": self.unhealthy,
+            "unreachable": self.unreachable,
             "total": self.total,
             "unhealthy_fraction": round(self.unhealthy_fraction, 6),
+            "unreachable_fraction":
+                round(self.unreachable_fraction, 6),
             "passed": self.passed,
         }
 
@@ -83,12 +100,16 @@ class CanaryEvaluator:
                     f"{state!r}; expected one of {NODE_STATES}")
             counts[state] += 1
         unhealthy = sum(counts[state] for state in UNHEALTHY_STATES)
+        unreachable = counts["unreachable"]
         total = len(states)
         passed = (total == 0
-                  or unhealthy / total
-                  <= self.policy.max_unhealthy_fraction)
+                  or (unhealthy / total
+                      <= self.policy.max_unhealthy_fraction
+                      and unreachable / total
+                      <= self.policy.max_unreachable_fraction))
         return CanaryVerdict(
             wave_index=wave_index,
             census=tuple((state, counts[state])
                          for state in NODE_STATES),
-            unhealthy=unhealthy, total=total, passed=passed)
+            unhealthy=unhealthy, total=total, passed=passed,
+            unreachable=unreachable)

@@ -63,10 +63,12 @@ from repro.errors import (
 )
 from repro.fleet.adapters.cli import (
     cmd_fleet_halt,
+    cmd_fleet_resume,
     cmd_fleet_rollback,
     cmd_fleet_rollout,
     cmd_fleet_status,
 )
+from repro.faultinject.chaos import FLEET_SCHEDULES
 from repro.faultinject.plane import (
     KNOWN_SITES,
     parse_action,
@@ -948,6 +950,27 @@ def build_parser() -> argparse.ArgumentParser:
         "rollback", parents=[fleety],
         help="stage the planted bad release: canary halt + rollback")
     fleet_rollback.set_defaults(func=cmd_fleet_rollback)
+
+    fleet_resume = fleet_sub.add_parser(
+        "resume", parents=[fleety],
+        help="crash the orchestrator mid-rollout, resume from the "
+             "write-ahead journal, prove signatures bit-identical")
+    fleet_resume.add_argument(
+        "--release", default="good",
+        choices=["baseline", "good", "bad"],
+        help="which canonical release to roll out (default good)")
+    fleet_resume.add_argument(
+        "--crash-after", type=int, default=40, metavar="N",
+        help="kill the orchestrator every N journal appends "
+             "(default 40)")
+    fleet_resume.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead journal path (default: a temp file, "
+             "removed afterwards)")
+    fleet_resume.add_argument(
+        "--chaos", default=None, choices=sorted(FLEET_SCHEDULES),
+        help="also arm this channel chaos schedule")
+    fleet_resume.set_defaults(func=cmd_fleet_resume)
 
     fleet_halt = fleet_sub.add_parser(
         "halt", parents=[fleety],

@@ -48,7 +48,7 @@ class TestVerdict:
         verdict = CanaryEvaluator().evaluate(1, states(healthy=3))
         assert [s for s, _ in verdict.census] == [
             "healthy", "degraded", "quarantined", "deploy-failed",
-            "dead"]
+            "unreachable", "dead"]
 
     def test_unknown_state_is_loud(self):
         with pytest.raises(ValueError, match="unknown health state"):

@@ -1,0 +1,78 @@
+"""The rollout write-ahead journal: record vocabulary, durability,
+reload from disk."""
+
+import json
+
+import pytest
+
+from repro.fleet.journal import FileJournal, MemoryJournal
+
+
+class TestRecordVocabulary:
+    def test_header_entry_op_round_trip(self):
+        journal = MemoryJournal()
+        journal.append_header("rel@1.0.0", 7, None, rollout=3)
+        journal.append_entry(0, "plan", 0, [["fleet", 10]])
+        journal.append_op("r003:00001:deploy:n0",
+                          {"ok": True, "error": "", "attempts": 1},
+                          {"applied": True})
+        header = journal.header()
+        assert header["release"] == "rel@1.0.0"
+        assert header["seed"] == 7
+        assert header["rollout"] == 3
+        entries = journal.entries()
+        assert len(entries) == 1
+        assert entries[0]["entry_kind"] == "plan"
+        ops = journal.ops()
+        assert ops["r003:00001:deploy:n0"]["outcome"]["ok"] is True
+
+    def test_completeness_is_the_done_entry(self):
+        journal = MemoryJournal()
+        assert not journal.complete()
+        journal.append_header("rel", 1, None)
+        journal.append_entry(0, "plan", 0, [])
+        assert not journal.complete()
+        journal.append_entry(1, "done", 0, [])
+        assert journal.complete()
+
+    def test_empty_journal_has_no_header(self):
+        journal = MemoryJournal()
+        assert journal.header() is None
+        assert "empty" in journal.describe()
+
+    def test_describe_reports_progress(self):
+        journal = MemoryJournal()
+        journal.append_header("rel@2.0.0", 9, None)
+        journal.append_entry(0, "plan", 0, [])
+        assert "in-progress" in journal.describe()
+        journal.append_entry(1, "done", 0, [])
+        assert "complete" in journal.describe()
+
+
+class TestFileJournal:
+    def test_appends_are_durable_jsonl(self, tmp_path):
+        path = str(tmp_path / "rollout.jsonl")
+        journal = FileJournal(path)
+        journal.append_header("rel", 7, 2)
+        journal.append_entry(0, "plan", 0, [["seed", 7]])
+        lines = [json.loads(line) for line in
+                 open(path, encoding="utf-8")]
+        assert [r["kind"] for r in lines] == ["header", "entry"]
+
+    def test_reload_from_disk_sees_every_record(self, tmp_path):
+        path = str(tmp_path / "rollout.jsonl")
+        first = FileJournal(path)
+        first.append_header("rel", 7, None)
+        first.append_op("k", {"ok": False, "error": "unreachable",
+                              "attempts": 4}, None)
+        # a fresh object (a restarted process) reloads the history
+        second = FileJournal(path)
+        assert second.header()["release"] == "rel"
+        assert second.ops()["k"]["outcome"]["attempts"] == 4
+        # and continues appending after the existing records
+        second.append_entry(0, "done", 0, [])
+        assert FileJournal(path).complete()
+
+    def test_fresh_path_starts_empty(self, tmp_path):
+        journal = FileJournal(str(tmp_path / "new.jsonl"))
+        assert journal.records() == []

@@ -1,0 +1,180 @@
+"""Crash-resumable rollouts: kill the orchestrator at journal-append
+boundaries, resume from the write-ahead journal, and require the
+finished report to be bit-identical to an uninterrupted run."""
+
+import pytest
+
+from repro.faultinject.plane import (
+    ETIMEDOUT,
+    FaultAction,
+    NthHit,
+    Probability,
+)
+from repro.fleet.adapters.sim import build_scenario
+from repro.fleet.journal import (
+    FileJournal,
+    MemoryJournal,
+    OrchestratorCrash,
+)
+from repro.fleet.services.orchestrator import RolloutOrchestrator
+
+SIZE = 20
+SEED = 11
+
+
+def arm_channel_chaos(plane):
+    """A representative lossy channel (seeded, deterministic)."""
+    plane.arm("fleet.rpc.send.*", Probability(0.15),
+              FaultAction.err(ETIMEDOUT))
+    plane.arm("fleet.rpc.reply.*", Probability(0.10),
+              FaultAction.err(ETIMEDOUT))
+
+
+@pytest.fixture
+def scenario(leakcheck):
+    built = build_scenario(size=SIZE, seed=SEED)
+    for node in built.fleet.nodes():
+        leakcheck(node.kernel)
+    return built
+
+
+def reference_signature(release: str, chaos: bool = False) -> str:
+    """The uninterrupted run's signature on a fresh fleet."""
+    built = build_scenario(size=SIZE, seed=SEED)
+    if chaos:
+        arm_channel_chaos(built.transport.plane)
+    target = getattr(built, release)
+    return built.orchestrator.rollout(
+        target.release_id, seed=SEED).signature()
+
+
+class TestCrashMidWave:
+    def test_resumed_rollout_is_bit_identical(self, scenario):
+        """Killed mid-wave, resumed: same signature as straight
+        through — the acceptance criterion."""
+        arm_channel_chaos(scenario.transport.plane)
+        scenario.transport.plane.arm("fleet.orch.crash", NthHit(40),
+                                     FaultAction.panic())
+        journal = MemoryJournal()
+        with pytest.raises(OrchestratorCrash):
+            scenario.orchestrator.rollout(
+                scenario.good.release_id, seed=SEED, journal=journal)
+        assert not journal.complete()
+        report = scenario.orchestrator.resume(journal)
+        assert report.outcome == "completed"
+        assert journal.complete()
+        assert report.signature() \
+            == reference_signature("good", chaos=True)
+
+    def test_crash_during_bad_release_rollback(self, scenario):
+        """Dying mid-rollback must not strand the withdrawn release:
+        the resumed run finishes the rollback identically."""
+        scenario.transport.plane.arm("fleet.orch.crash", NthHit(10),
+                                     FaultAction.panic())
+        journal = MemoryJournal()
+        with pytest.raises(OrchestratorCrash):
+            scenario.orchestrator.rollout(
+                scenario.bad.release_id, seed=SEED, journal=journal)
+        report = scenario.orchestrator.resume(journal)
+        assert report.outcome == "rolled-back"
+        assert report.signature() == reference_signature("bad")
+        bad = scenario.bad.release_id
+        assert all(scenario.fleet.current_release(n) != bad
+                   for n in scenario.fleet.node_ids())
+
+    def test_repeated_crashes_still_converge(self, scenario):
+        """A recurring crash schedule: every resume dies again after
+        a few appends, yet the rollout lands bit-identically."""
+        arm_channel_chaos(scenario.transport.plane)
+        scenario.transport.plane.arm(
+            "fleet.orch.crash", NthHit(25, every=True),
+            FaultAction.panic())
+        journal = MemoryJournal()
+        report = None
+        crashes = 0
+        while report is None:
+            try:
+                if crashes == 0:
+                    report = scenario.orchestrator.rollout(
+                        scenario.good.release_id, seed=SEED,
+                        journal=journal)
+                else:
+                    report = scenario.orchestrator.resume(journal)
+            except OrchestratorCrash:
+                crashes += 1
+                assert crashes < 100
+        assert crashes >= 2
+        assert report.signature() \
+            == reference_signature("good", chaos=True)
+
+
+class TestResumeSemantics:
+    def test_resume_replays_without_fleet_traffic(self, scenario):
+        """Resuming a *complete* journal is a pure replay: the report
+        is rebuilt, the transport is never touched."""
+        journal = MemoryJournal()
+        original = scenario.orchestrator.rollout(
+            scenario.good.release_id, seed=SEED, journal=journal)
+        rpcs_before = scenario.transport.stats.rpcs
+        clock_before = scenario.transport.clock.now_ns
+        replayed = scenario.orchestrator.resume(journal)
+        assert replayed.signature() == original.signature()
+        assert replayed.summary() == original.summary()
+        assert scenario.transport.stats.rpcs == rpcs_before
+        assert scenario.transport.clock.now_ns == clock_before
+
+    def test_resume_needs_a_header(self, scenario):
+        with pytest.raises(ValueError, match="empty journal"):
+            scenario.orchestrator.resume(MemoryJournal())
+
+    def test_resume_counts_in_telemetry(self, scenario):
+        scenario.transport.plane.arm("fleet.orch.crash", NthHit(10),
+                                     FaultAction.panic())
+        journal = MemoryJournal()
+        with pytest.raises(OrchestratorCrash):
+            scenario.orchestrator.rollout(
+                scenario.good.release_id, seed=SEED, journal=journal)
+        scenario.orchestrator.resume(journal)
+        from repro.telemetry.export import parse_prometheus
+        series = parse_prometheus(scenario.telemetry.to_prometheus())
+        assert series["repro_fleet_rollout_resumes_total"] == 1
+
+    def test_replayed_waves_do_not_double_count_telemetry(
+            self, scenario):
+        """The replayed prefix must not re-record waves or rollouts
+        into the shared aggregator."""
+        scenario.transport.plane.arm("fleet.orch.crash", NthHit(30),
+                                     FaultAction.panic())
+        journal = MemoryJournal()
+        with pytest.raises(OrchestratorCrash):
+            scenario.orchestrator.rollout(
+                scenario.good.release_id, seed=SEED, journal=journal)
+        report = scenario.orchestrator.resume(journal)
+        assert len(scenario.telemetry.waves) == len(report.verdicts)
+        assert len(scenario.telemetry.rollouts) == 1
+
+
+class TestFileJournalResume:
+    def test_fresh_orchestrator_resumes_from_disk(self, scenario,
+                                                  tmp_path):
+        """The strongest restart model this harness can express: the
+        successor orchestrator is a new object whose only link to the
+        dead one is the journal file and the fleet it already acted
+        on."""
+        path = str(tmp_path / "rollout.jsonl")
+        arm_channel_chaos(scenario.transport.plane)
+        scenario.transport.plane.arm("fleet.orch.crash", NthHit(55),
+                                     FaultAction.panic())
+        with pytest.raises(OrchestratorCrash):
+            scenario.orchestrator.rollout(
+                scenario.good.release_id, seed=SEED,
+                journal=FileJournal(path))
+        successor = RolloutOrchestrator(
+            scenario.fleet, scenario.registry,
+            telemetry=scenario.telemetry,
+            transport=scenario.transport)
+        report = successor.resume(FileJournal(path))
+        assert report.outcome == "completed"
+        assert report.signature() \
+            == reference_signature("good", chaos=True)
+        assert FileJournal(path).complete()
